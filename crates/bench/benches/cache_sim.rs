@@ -1,0 +1,83 @@
+//! Criterion benches for the cache simulator: fetch throughput for the
+//! unified, split, and reserved organizations, across geometries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oslay_cache::{Cache, CacheConfig, InstructionCache, ReservedCache, SplitCache};
+use oslay_model::Domain;
+
+/// A deterministic pseudo-random-ish address stream with OS/app phases,
+/// loops and strides — enough structure to exercise hits, misses and
+/// evictions without depending on the full pipeline.
+fn address_stream(n: usize) -> Vec<(u64, Domain)> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut pc = 0u64;
+    for i in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let domain = if (i / 256) % 3 == 0 {
+            Domain::App
+        } else {
+            Domain::Os
+        };
+        if x.is_multiple_of(16) {
+            pc = x % (256 * 1024); // jump
+        } else {
+            pc += 4; // sequential fetch
+        }
+        let base = if domain == Domain::App { 0x4000_0000 } else { 0 };
+        out.push((base + pc, domain));
+    }
+    out
+}
+
+fn run(cache: &mut dyn InstructionCache, stream: &[(u64, Domain)]) -> u64 {
+    let mut misses = 0;
+    for &(addr, domain) in stream {
+        if cache.access(addr, domain).is_miss() {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+fn bench_unified(c: &mut Criterion) {
+    let stream = address_stream(100_000);
+    let mut group = c.benchmark_group("cache/unified");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for cfg in [
+        CacheConfig::new(8 * 1024, 32, 1),
+        CacheConfig::new(8 * 1024, 32, 4),
+        CacheConfig::new(32 * 1024, 64, 2),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(cfg), &cfg, |b, &cfg| {
+            b.iter(|| run(&mut Cache::new(cfg), &stream));
+        });
+    }
+    group.finish();
+}
+
+fn bench_organizations(c: &mut Criterion) {
+    let stream = address_stream(100_000);
+    let cfg = CacheConfig::paper_default();
+    let mut group = c.benchmark_group("cache/organizations");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("unified", |b| {
+        b.iter(|| run(&mut Cache::new(cfg), &stream));
+    });
+    group.bench_function("split", |b| {
+        b.iter(|| run(&mut SplitCache::halves_of(cfg), &stream));
+    });
+    group.bench_function("reserved", |b| {
+        b.iter(|| run(&mut ReservedCache::paired_with(cfg, 0..1024), &stream));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_unified, bench_organizations
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the placement algorithms themselves: how long
+//! does it take to lay out a (small-scale) kernel under each scheme?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oslay_layout::{
+    base_layout, build_sequences, call_opt_layout, chang_hwu_layout, optimize_os, CallOptParams,
+    OptParams, ThresholdSchedule,
+};
+use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+use oslay_profile::{LoopAnalysis, Profile};
+use oslay_trace::{standard_workloads, Engine, EngineConfig};
+
+fn setup() -> (oslay_model::Program, Profile, LoopAnalysis) {
+    let kernel = generate_kernel(&KernelParams::at_scale(Scale::Small, 7));
+    let specs = standard_workloads(&kernel.tables);
+    let trace = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(1)).run(150_000);
+    let profile = Profile::collect(&kernel.program, &trace);
+    let loops = LoopAnalysis::analyze(&kernel.program, &profile);
+    (kernel.program, profile, loops)
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let (program, profile, loops) = setup();
+    let mut group = c.benchmark_group("layout");
+    group.sample_size(10);
+    group.bench_function("base", |b| b.iter(|| base_layout(&program, 0)));
+    group.bench_function("chang_hwu", |b| {
+        b.iter(|| chang_hwu_layout(&program, &profile, 0))
+    });
+    group.bench_function("sequences_only", |b| {
+        b.iter(|| build_sequences(&program, &profile, &ThresholdSchedule::paper()))
+    });
+    group.bench_function("opt_s", |b| {
+        b.iter(|| optimize_os(&program, &profile, &loops, &OptParams::opt_s(8192)))
+    });
+    group.bench_function("opt_l", |b| {
+        b.iter(|| optimize_os(&program, &profile, &loops, &OptParams::opt_l(8192)))
+    });
+    group.bench_function("call_opt", |b| {
+        b.iter(|| call_opt_layout(&program, &profile, &loops, &CallOptParams::new(8192)))
+    });
+    group.finish();
+}
+
+fn bench_loop_analysis(c: &mut Criterion) {
+    let (program, profile, _) = setup();
+    c.bench_function("profile/loop_analysis", |b| {
+        b.iter(|| LoopAnalysis::analyze(&program, &profile))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_layouts, bench_loop_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 12: normalized references and misses for the five optimization
+//! levels (Base, C-H, OptS, OptL, OptA) on an 8 KB direct-mapped cache
+//! with 32-byte lines.
+//!
+//! Paper shape: most misses are OS self-interference; C-H cuts total
+//! misses to 43–62% of Base; OptS cuts further to 24–53% (≈ 25% below
+//! C-H); OptL is a wash; OptA shaves another 4–19% where there is an
+//! application.
+
+use oslay::cache::CacheConfig;
+use oslay::model::Domain;
+use oslay::cache::MissKind;
+use oslay::{SimConfig, Study};
+use oslay_bench::{banner, config_from_args, figure12_ladder, run_case};
+
+fn main() {
+    let config = config_from_args();
+    banner(
+        "Figure 12: miss breakdown by optimization level (8KB direct-mapped, 32B lines)",
+        &config,
+    );
+    let study = Study::generate(&config);
+    let cache = CacheConfig::paper_default();
+
+    // Left chart: reference breakdown.
+    println!("References (fraction OS vs App):");
+    for case in study.cases() {
+        let os = case.trace.os_blocks() as f64;
+        let total = case.trace.total_blocks() as f64;
+        println!(
+            "  {:<11} OS {:>5.1}%  App {:>5.1}%",
+            case.name(),
+            os / total * 100.0,
+            (1.0 - os / total) * 100.0
+        );
+    }
+    println!();
+
+    // Right chart: misses per layout, normalized to Base, decomposed.
+    for case in study.cases() {
+        println!("{}:", case.name());
+        println!(
+            "  {:<6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6}",
+            "layout", "misses", "os-self", "os-byapp", "app-self", "app-byos", "norm"
+        );
+        let mut base_misses = None;
+        for (name, os_kind, app_side) in figure12_ladder() {
+            let r = run_case(&study, case, os_kind, app_side, cache, &SimConfig::fast());
+            let total = r.stats.total_misses();
+            let base = *base_misses.get_or_insert(total);
+            println!(
+                "  {:<6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>5.1}%",
+                name,
+                total,
+                r.stats.misses(MissKind::OsSelf),
+                r.stats.misses(MissKind::OsByApp),
+                r.stats.misses(MissKind::AppSelf),
+                r.stats.misses(MissKind::AppByOs),
+                total as f64 / base as f64 * 100.0,
+            );
+            let _ = Domain::Os;
+        }
+        println!();
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 14: distribution of operating-system misses as a function of the
+//! code address (sum of all workloads, 8 KB direct-mapped cache), under
+//! Base, C-H and OptS. For comparability across layouts, misses are mapped
+//! back to the *Base* address of the missing block, exactly as the paper
+//! plots routines "in the same sequence as they were in Base".
+//!
+//! Paper shape: C-H reduces the Base miss peaks; OptS flattens them
+//! further, leaving only small peaks.
+
+use oslay::analysis::figures::render_address_map;
+use oslay::analysis::missmap::AddressHistogram;
+use oslay::analysis::report::{bar_chart, pct};
+use oslay::cache::{Cache, CacheConfig};
+use oslay::model::BlockId;
+use oslay::{OsLayoutKind, SimConfig, Study};
+use oslay_bench::{banner, config_from_args};
+
+fn main() {
+    let config = config_from_args();
+    banner("Figure 14: OS miss distribution under Base, C-H, OptS", &config);
+    let study = Study::generate(&config);
+    let base = study.os_layout(OsLayoutKind::Base, 8192);
+
+    for kind in [OsLayoutKind::Base, OsLayoutKind::ChangHwu, OsLayoutKind::OptS] {
+        let os = study.os_layout(kind, 8192);
+        let mut map = AddressHistogram::paper();
+        let mut total_misses = 0u64;
+        for case in study.cases() {
+            let app = study.app_base_layout(case);
+            let mut cache = Cache::new(CacheConfig::paper_default());
+            let r = study.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::full());
+            let misses = r.os_block_misses.as_ref().unwrap();
+            for (i, &m) in misses.iter().enumerate() {
+                if m > 0 {
+                    // Plot at the block's Base address.
+                    map.add_n(base.layout.addr(BlockId::new(i)), m);
+                }
+            }
+            total_misses += r.stats.domain_misses(oslay::model::Domain::Os);
+        }
+        println!(
+            "{}: {} OS misses; peak 1-KB range {} misses; top-5 ranges hold {}:",
+            kind.name(),
+            total_misses,
+            map.max_count(),
+            pct(map.peak_concentration(5)),
+        );
+        print!("{}", render_address_map(&map, 96, 8));
+        let items: Vec<(String, f64)> = map
+            .peaks(10)
+            .into_iter()
+            .map(|(addr, count)| (format!("{addr:#08x}"), count as f64))
+            .collect();
+        print!("{}", bar_chart(&items, 48));
+        println!();
+    }
+}

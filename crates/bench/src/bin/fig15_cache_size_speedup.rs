@@ -1,0 +1,81 @@
+//! Figure 15: (a) total instruction miss rates for 4–32 KB direct-mapped
+//! caches with 32-byte lines under Base, C-H and OptS; (b) estimated
+//! execution speed increase of OptS over Base under the simple model of
+//! Section 5.2 (miss penalties of 10, 30 and 50 cycles).
+//!
+//! Paper shape: Base miss rate 0.87–6.75%; C-H removes 39–60% of it; OptS
+//! removes a further 19–38% of C-H's remainder for 4–16 KB caches and ties
+//! C-H at 32 KB (the cache then holds the working set); with a 30-cycle
+//! penalty the speedups are in the 10–25% range, peaking at 8 KB.
+
+use oslay::analysis::report::{f, pct, TextTable};
+use oslay::cache::CacheConfig;
+use oslay::perf::ExecTimeModel;
+use oslay::{OsLayoutKind, SimConfig, Study};
+use oslay_bench::{banner, config_from_args, run_case, AppSide};
+
+fn main() {
+    let config = config_from_args();
+    banner("Figure 15: miss rate vs cache size; speedup model", &config);
+    let study = Study::generate(&config);
+    let sizes = [4096u32, 8192, 16384, 32768];
+
+    // miss_rate[size][workload][layout]
+    let mut rates = vec![vec![[0.0f64; 3]; study.cases().len()]; sizes.len()];
+    for (si, &size) in sizes.iter().enumerate() {
+        let cfg = CacheConfig::new(size, 32, 1);
+        for (wi, case) in study.cases().iter().enumerate() {
+            for (li, kind) in [
+                OsLayoutKind::Base,
+                OsLayoutKind::ChangHwu,
+                OsLayoutKind::OptS,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let r = run_case(&study, case, kind, AppSide::Base, cfg, &SimConfig::fast());
+                rates[si][wi][li] = r.miss_rate();
+            }
+        }
+    }
+
+    println!("(a) Total instruction miss rates:");
+    let mut table = TextTable::new([
+        "Workload/size", "Base", "C-H", "OptS", "C-H/Base", "OptS/C-H",
+    ]);
+    for (wi, case) in study.cases().iter().enumerate() {
+        for (si, &size) in sizes.iter().enumerate() {
+            let [b, ch, opt] = rates[si][wi];
+            table.row([
+                format!("{} {}KB", case.name(), size / 1024),
+                pct(b),
+                pct(ch),
+                pct(opt),
+                f(ch / b, 2),
+                f(opt / ch, 2),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+
+    println!("(b) Estimated speed increase of OptS over Base (Section 5.2 model):");
+    let mut table = TextTable::new([
+        "Workload/size",
+        "10-cycle penalty",
+        "30-cycle penalty",
+        "50-cycle penalty",
+    ]);
+    for (wi, case) in study.cases().iter().enumerate() {
+        for (si, &size) in sizes.iter().enumerate() {
+            let [b, _, opt] = rates[si][wi];
+            let mut cells = vec![format!("{} {}KB", case.name(), size / 1024)];
+            for p in ExecTimeModel::PAPER_PENALTIES {
+                let m = ExecTimeModel::paper(p);
+                cells.push(format!("+{:.1}%", (m.speedup(b, opt) - 1.0) * 100.0));
+            }
+            table.row(cells);
+        }
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,72 @@
+//! Figure 16: effect of the SelfConfFree-area size on the total number of
+//! misses, for 4, 8 and 16 KB direct-mapped caches (32-byte lines). The
+//! layouts compared are Base, no SelfConfFree area (`None`), and SCF areas
+//! admitting blocks above 3.0%, 2.0% and 1.0% of the flattened executions.
+//!
+//! Paper shape: the 2.0% cut-off (≈ 1 KB of SCF) wins or ties in over half
+//! the experiments; the 4 KB cache prefers the larger 1.0% area, the 16 KB
+//! cache the smaller 3.0% one; paper SCF sizes: 0 / 376 / 1286 / 2514
+//! bytes.
+
+use oslay::analysis::report::TextTable;
+use oslay::cache::{Cache, CacheConfig};
+use oslay::{OsLayoutKind, SimConfig, Study};
+use oslay_bench::{banner, config_from_args};
+
+fn main() {
+    let config = config_from_args();
+    banner("Figure 16: SelfConfFree-area size sweep", &config);
+    let study = Study::generate(&config);
+    // The paper's 3.0% / 2.0% / 1.0% frequency cut-offs correspond to
+    // SelfConfFree areas of 376 / 1286 / 2514 bytes on its kernel; the
+    // sweep uses those byte budgets directly.
+    let cutoffs: [(&str, Option<u32>); 4] = [
+        ("None", None),
+        ("3.0%", Some(376)),
+        ("2.0%", Some(1286)),
+        ("1.0%", Some(2514)),
+    ];
+
+    for &size in &[4096u32, 8192, 16384] {
+        println!("{}KB cache:", size / 1024);
+        // Report the SCF sizes once per cache size.
+        let scf_sizes: Vec<String> = cutoffs
+            .iter()
+            .map(|&(_, c)| {
+                let l = study.os_opt_s_with_scf(size, c);
+                format!("{}B", l.scf_bytes)
+            })
+            .collect();
+        println!(
+            "  SCF area bytes: None={} 3%={} 2%={} 1%={}  (paper: 0/376/1286/2514)",
+            scf_sizes[0], scf_sizes[1], scf_sizes[2], scf_sizes[3]
+        );
+        let mut table = TextTable::new(["Workload", "Base", "None", "3.0%", "2.0%", "1.0%"]);
+        for case in study.cases() {
+            let app = study.app_base_layout(case);
+            let mut cells = vec![case.name().to_owned()];
+            let base = {
+                let os = study.os_layout(OsLayoutKind::Base, size);
+                let mut cache = Cache::new(CacheConfig::new(size, 32, 1));
+                study
+                    .simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+                    .stats
+                    .total_misses()
+            };
+            cells.push("100.0".into());
+            for &(_, cutoff) in &cutoffs {
+                let os = study.os_opt_s_with_scf(size, cutoff);
+                let mut cache = Cache::new(CacheConfig::new(size, 32, 1));
+                let misses = study
+                    .simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+                    .stats
+                    .total_misses();
+                cells.push(format!("{:.1}", misses as f64 / base as f64 * 100.0));
+            }
+            table.row(cells);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    println!("(cells: misses normalized to Base = 100)");
+}

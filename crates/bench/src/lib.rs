@@ -1,0 +1,156 @@
+//! Shared support for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. They share command-line handling (`--scale tiny|small|paper`,
+//! `--blocks N`, `--seed N`) and a couple of evaluation drivers.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p oslay-bench --bin fig12_optimization_levels -- --scale paper
+//! ```
+
+#![warn(missing_docs)]
+
+use oslay::cache::{Cache, CacheConfig, InstructionCache};
+use oslay::{OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, WorkloadCase};
+use oslay_layout::Layout;
+use oslay_model::synth::Scale;
+
+/// Parses the common experiment arguments into a [`StudyConfig`].
+///
+/// Defaults to `--scale paper`; integration environments pass
+/// `--scale small` for speed.
+#[must_use]
+pub fn config_from_args() -> StudyConfig {
+    let mut config = StudyConfig::paper();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                config = match v.as_str() {
+                    "tiny" => StudyConfig::tiny(),
+                    "small" => StudyConfig::small(),
+                    "paper" => StudyConfig::paper(),
+                    other => panic!("unknown scale {other:?} (tiny|small|paper)"),
+                };
+            }
+            "--blocks" => {
+                let v = args.next().expect("--blocks needs a value");
+                config.os_blocks = v.parse().expect("--blocks must be an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                config.seed = v.parse().expect("--seed must be an integer");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    config
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, config: &StudyConfig) {
+    println!("== {title} ==");
+    println!(
+        "   scale: {:?}, OS blocks/workload: {}, seed: {:#x}",
+        config.scale, config.os_blocks, config.seed
+    );
+    println!();
+}
+
+/// Scale label for result files.
+#[must_use]
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Which application layout to pair with an OS layout.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum AppSide {
+    /// Unoptimized application (source order at `APP_BASE`).
+    Base,
+    /// `OptA`: the application optimized with sequences + loop area.
+    Optimized,
+    /// Chang–Hwu-optimized application.
+    ChangHwu,
+}
+
+/// Evaluates one workload under one OS layout kind on a unified cache.
+#[must_use]
+pub fn run_case(
+    study: &Study,
+    case: &WorkloadCase,
+    os_kind: OsLayoutKind,
+    app_side: AppSide,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+) -> SimResult {
+    let os = study.os_layout(os_kind, cache_cfg.size());
+    let app = match app_side {
+        AppSide::Base => study.app_base_layout(case),
+        AppSide::Optimized => study.app_opt_layout(case, cache_cfg.size()),
+        AppSide::ChangHwu => study.app_ch_layout(case),
+    };
+    let mut cache = Cache::new(cache_cfg);
+    study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim)
+}
+
+/// Evaluates one workload with explicit layouts on an arbitrary cache
+/// organization (used by the Sep/Resv experiment).
+#[must_use]
+pub fn run_case_on(
+    study: &Study,
+    case: &WorkloadCase,
+    os_layout: &Layout,
+    app_layout: Option<&Layout>,
+    cache: &mut dyn InstructionCache,
+    sim: &SimConfig,
+) -> SimResult {
+    study.simulate(case, os_layout, app_layout, cache, sim)
+}
+
+/// The layout ladder of Figure 12, with the app side each level uses.
+#[must_use]
+pub fn figure12_ladder() -> Vec<(&'static str, OsLayoutKind, AppSide)> {
+    vec![
+        ("Base", OsLayoutKind::Base, AppSide::Base),
+        ("C-H", OsLayoutKind::ChangHwu, AppSide::Base),
+        ("OptS", OsLayoutKind::OptS, AppSide::Base),
+        ("OptL", OsLayoutKind::OptL, AppSide::Base),
+        ("OptA", OsLayoutKind::OptS, AppSide::Optimized),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_cache::MissKind;
+
+    #[test]
+    fn ladder_matches_figure12() {
+        let names: Vec<&str> = figure12_ladder().iter().map(|&(n, _, _)| n).collect();
+        assert_eq!(names, ["Base", "C-H", "OptS", "OptL", "OptA"]);
+    }
+
+    #[test]
+    fn run_case_smoke() {
+        let study = Study::generate(&StudyConfig::tiny());
+        let case = &study.cases()[3];
+        let r = run_case(
+            &study,
+            case,
+            OsLayoutKind::Base,
+            AppSide::Base,
+            CacheConfig::paper_default(),
+            &SimConfig::fast(),
+        );
+        assert!(r.stats.total_accesses() > 0);
+        assert!(r.stats.misses(MissKind::OsSelf) > 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Trace replay through a cache under a pair of layouts.
+
+use oslay_analysis::missmap::AddressHistogram;
+use oslay_cache::{InstructionCache, MissStats};
+use oslay_layout::Layout;
+use oslay_model::Domain;
+use oslay_trace::TraceEvent;
+
+use crate::{Study, WorkloadCase};
+
+/// What to collect during a simulation.
+#[derive(Copy, Clone, Debug)]
+pub struct SimConfig {
+    /// Collect a per-1KB histogram of OS miss addresses (Figures 1, 14).
+    pub os_miss_map: bool,
+    /// Collect per-block miss counts (Figure 13, Table 2).
+    pub block_misses: bool,
+}
+
+impl SimConfig {
+    /// Collect nothing beyond the aggregate statistics.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            os_miss_map: false,
+            block_misses: false,
+        }
+    }
+
+    /// Collect everything.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            os_miss_map: true,
+            block_misses: true,
+        }
+    }
+}
+
+/// Result of replaying one workload trace against one layout pair.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Aggregate access/miss statistics.
+    pub stats: MissStats,
+    /// OS miss addresses at 1 KB granularity, if requested.
+    pub os_miss_map: Option<AddressHistogram>,
+    /// OS self-interference miss addresses (Figure 1-b), if requested.
+    pub os_self_miss_map: Option<AddressHistogram>,
+    /// OS-from-application interference miss addresses (Figure 1-c), if
+    /// requested.
+    pub os_cross_miss_map: Option<AddressHistogram>,
+    /// Per-OS-block miss counts, if requested.
+    pub os_block_misses: Option<Vec<u64>>,
+    /// Per-app-block miss counts, if requested (empty when the workload
+    /// has no application).
+    pub app_block_misses: Option<Vec<u64>>,
+}
+
+impl SimResult {
+    /// Total miss rate over all instruction fetches.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        self.stats.miss_rate()
+    }
+}
+
+impl Study {
+    /// Replays `case`'s trace through `cache`, mapping OS blocks through
+    /// `os_layout` and app blocks through `app_layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload traces an application but `app_layout` is
+    /// `None`.
+    #[must_use]
+    pub fn simulate(
+        &self,
+        case: &WorkloadCase,
+        os_layout: &Layout,
+        app_layout: Option<&Layout>,
+        cache: &mut dyn InstructionCache,
+        config: &SimConfig,
+    ) -> SimResult {
+        assert!(
+            case.app.is_none() || app_layout.is_some(),
+            "workload {} traces an application: supply its layout",
+            case.name()
+        );
+        let mut os_miss_map = config.os_miss_map.then(AddressHistogram::paper);
+        let mut os_self_miss_map = config.os_miss_map.then(AddressHistogram::paper);
+        let mut os_cross_miss_map = config.os_miss_map.then(AddressHistogram::paper);
+        let mut os_block_misses = config
+            .block_misses
+            .then(|| vec![0u64; self.kernel().program.num_blocks()]);
+        let mut app_block_misses = config.block_misses.then(|| {
+            vec![0u64; case.app.as_ref().map_or(0, oslay_model::Program::num_blocks)]
+        });
+
+        for event in case.trace.events() {
+            let TraceEvent::Block { id, domain } = *event else {
+                continue;
+            };
+            let layout = match domain {
+                Domain::Os => os_layout,
+                Domain::App => app_layout.expect("checked above"),
+            };
+            let mut missed = 0u64;
+            let base = layout.addr(id);
+            for w in 0..layout.fetch_words(id) {
+                let addr = base + u64::from(w) * u64::from(oslay_model::WORD_BYTES);
+                let outcome = cache.access(addr, domain);
+                if let oslay_cache::AccessOutcome::Miss(kind) = outcome {
+                    missed += 1;
+                    if domain == Domain::Os {
+                        if let Some(map) = os_miss_map.as_mut() {
+                            map.add(addr);
+                        }
+                        match kind {
+                            oslay_cache::MissKind::OsSelf => {
+                                if let Some(map) = os_self_miss_map.as_mut() {
+                                    map.add(addr);
+                                }
+                            }
+                            oslay_cache::MissKind::OsByApp => {
+                                if let Some(map) = os_cross_miss_map.as_mut() {
+                                    map.add(addr);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            if missed > 0 {
+                match domain {
+                    Domain::Os => {
+                        if let Some(v) = os_block_misses.as_mut() {
+                            v[id.index()] += missed;
+                        }
+                    }
+                    Domain::App => {
+                        if let Some(v) = app_block_misses.as_mut() {
+                            v[id.index()] += missed;
+                        }
+                    }
+                }
+            }
+        }
+
+        SimResult {
+            stats: *cache.stats(),
+            os_miss_map,
+            os_self_miss_map,
+            os_cross_miss_map,
+            os_block_misses,
+            app_block_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OsLayoutKind, StudyConfig};
+    use oslay_cache::{Cache, CacheConfig, MissKind};
+
+    fn study() -> Study {
+        Study::generate(&StudyConfig::tiny())
+    }
+
+    #[test]
+    fn accesses_match_trace_volume() {
+        let s = study();
+        let case = &s.cases()[3];
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        let r = s.simulate(case, &base.layout, None, &mut cache, &SimConfig::fast());
+        // Every OS block contributes its fetch words.
+        let mut expected = 0u64;
+        for event in case.trace.events() {
+            if let TraceEvent::Block { id, domain: Domain::Os } = *event {
+                expected += u64::from(base.layout.fetch_words(id));
+            }
+        }
+        assert_eq!(r.stats.accesses(Domain::Os), expected);
+        assert_eq!(r.stats.accesses(Domain::App), 0);
+    }
+
+    #[test]
+    fn optimized_layout_misses_less_than_base() {
+        let s = study();
+        let case = &s.cases()[3]; // Shell (OS only)
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+        let opts = s.os_layout(OsLayoutKind::OptS, 8192);
+        let run = |l: &oslay_layout::Layout| {
+            let mut cache = Cache::new(CacheConfig::paper_default());
+            s.simulate(case, l, None, &mut cache, &SimConfig::fast())
+                .stats
+                .total_misses()
+        };
+        let base_misses = run(&base.layout);
+        let opt_misses = run(&opts.layout);
+        assert!(
+            opt_misses < base_misses,
+            "OptS ({opt_misses}) must beat Base ({base_misses})"
+        );
+    }
+
+    #[test]
+    fn os_self_interference_dominates_in_base() {
+        let s = study();
+        let case = &s.cases()[3];
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        let r = s.simulate(case, &base.layout, None, &mut cache, &SimConfig::fast());
+        let os_self = r.stats.misses(MissKind::OsSelf);
+        let total = r.stats.total_misses();
+        // Tiny-scale traces leave cold misses a visible share; at paper
+        // scale self-interference exceeds 90% (see EXPERIMENTS.md).
+        assert!(
+            os_self * 10 >= total * 7,
+            "OS self-interference {os_self} of {total} misses"
+        );
+    }
+
+    #[test]
+    fn collected_block_misses_sum_to_stats() {
+        let s = study();
+        let case = &s.cases()[3];
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        let r = s.simulate(case, &base.layout, None, &mut cache, &SimConfig::full());
+        let by_block: u64 = r.os_block_misses.as_ref().unwrap().iter().sum();
+        assert_eq!(by_block, r.stats.total_misses());
+        assert_eq!(
+            r.os_miss_map.as_ref().unwrap().total(),
+            r.stats.total_misses()
+        );
+    }
+
+    #[test]
+    fn app_workload_requires_app_layout() {
+        let s = study();
+        let case = &s.cases()[0];
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+        let app_base = s.app_base_layout(case).unwrap();
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        let r = s.simulate(case, &base.layout, Some(&app_base), &mut cache, &SimConfig::fast());
+        assert!(r.stats.accesses(Domain::App) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply its layout")]
+    fn missing_app_layout_panics() {
+        let s = study();
+        let case = &s.cases()[0];
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        let _ = s.simulate(case, &base.layout, None, &mut cache, &SimConfig::fast());
+    }
+}

@@ -1,0 +1,159 @@
+//! References and misses by placement class (Figure 13).
+
+use oslay_layout::{BlockClass, OptLayout};
+use oslay_model::{BlockId, Program};
+use oslay_profile::Profile;
+
+/// Per-class shares of references and misses.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClassBreakdown {
+    /// `(class, reference fraction, miss fraction)` rows in Figure 13's
+    /// order.
+    pub rows: Vec<(BlockClass, f64, f64)>,
+}
+
+/// Classes in Figure 13's order.
+pub const FIG13_CLASSES: [BlockClass; 4] = [
+    BlockClass::MainSeq,
+    BlockClass::SelfConfFree,
+    BlockClass::Loop,
+    BlockClass::OtherSeq,
+];
+
+/// Decomposes a workload's OS references and misses by the placement class
+/// each block has in a *reference* optimized layout (the paper classifies
+/// by the block's type in `OptL` so the classes stay fixed across
+/// layouts).
+///
+/// `block_misses` holds per-block miss counts from replaying the workload
+/// against whatever layout is being reported.
+#[must_use]
+pub fn class_breakdown(
+    program: &Program,
+    profile: &Profile,
+    reference: &OptLayout,
+    block_misses: &[u64],
+) -> ClassBreakdown {
+    let mut refs = [0u64; 5];
+    let mut misses = [0u64; 5];
+    let mut total_refs = 0u64;
+    let mut total_misses = 0u64;
+    for (id, block) in program.blocks() {
+        let class = reference.class(id);
+        let idx = class_index(class);
+        let r = profile.node_weight(id) * u64::from(oslay_model::fetch_words(block.size()));
+        let m = block_misses[id.index()];
+        refs[idx] += r;
+        misses[idx] += m;
+        total_refs += r;
+        total_misses += m;
+    }
+    let rows = FIG13_CLASSES
+        .iter()
+        .map(|&c| {
+            let i = class_index(c);
+            (
+                c,
+                ratio(refs[i], total_refs),
+                ratio(misses[i], total_misses),
+            )
+        })
+        .collect();
+    ClassBreakdown { rows }
+}
+
+fn class_index(c: BlockClass) -> usize {
+    match c {
+        BlockClass::SelfConfFree => 0,
+        BlockClass::MainSeq => 1,
+        BlockClass::OtherSeq => 2,
+        BlockClass::Loop => 3,
+        BlockClass::Cold => 4,
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Accumulates per-block miss counts (a helper the evaluation drivers use
+/// while replaying traces).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockMissCounter {
+    counts: Vec<u64>,
+}
+
+impl BlockMissCounter {
+    /// Creates a counter for `program`.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        Self {
+            counts: vec![0; program.num_blocks()],
+        }
+    }
+
+    /// Records `n` misses against `block`.
+    pub fn add(&mut self, block: BlockId, n: u64) {
+        self.counts[block.index()] += n;
+    }
+
+    /// The counts, indexed by block.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total misses recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_layout::{optimize_os, OptParams};
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+    use oslay_profile::LoopAnalysis;
+    use oslay_trace::{standard_workloads, Engine, EngineConfig};
+
+    #[test]
+    fn breakdown_fractions_are_shares() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 13));
+        let specs = standard_workloads(&k.tables);
+        let t = Engine::new(&k.program, None, &specs[3], EngineConfig::new(16)).run(40_000);
+        let p = Profile::collect(&k.program, &t);
+        let la = LoopAnalysis::analyze(&k.program, &p);
+        let opt = optimize_os(&k.program, &p, &la, &OptParams::opt_l(8192));
+
+        let mut counter = BlockMissCounter::new(&k.program);
+        for b in p.executed_blocks() {
+            counter.add(b, 1);
+        }
+        let bd = class_breakdown(&k.program, &p, &opt, counter.counts());
+        assert_eq!(bd.rows.len(), 4);
+        let ref_sum: f64 = bd.rows.iter().map(|r| r.1).sum();
+        // Cold blocks have no references, so the four classes cover
+        // everything.
+        assert!((ref_sum - 1.0).abs() < 1e-9, "ref shares sum to {ref_sum}");
+        for (_, r, m) in &bd.rows {
+            assert!((0.0..=1.0).contains(r));
+            assert!((0.0..=1.0).contains(m));
+        }
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 13));
+        let mut c = BlockMissCounter::new(&k.program);
+        c.add(BlockId::new(0), 2);
+        c.add(BlockId::new(0), 3);
+        assert_eq!(c.counts()[0], 5);
+        assert_eq!(c.total(), 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure-like rendering of address histograms.
+//!
+//! The paper's Figures 1, 2 and 14 are scatter plots of counts over the
+//! whole code address range. [`render_address_map`] down-samples an
+//! [`AddressHistogram`] into a fixed number of columns and prints a
+//! vertical bar chart, which preserves what the paper's charts show —
+//! where the peaks are and how tall they are relative to the floor.
+
+use crate::missmap::AddressHistogram;
+
+/// Renders the histogram as a `width`-column, `height`-row ASCII chart
+/// covering the full populated address range. Returns an empty string for
+/// an empty histogram.
+#[must_use]
+pub fn render_address_map(map: &AddressHistogram, width: usize, height: usize) -> String {
+    let ranges = map.ranges();
+    let (Some(&(lo, _)), Some(&(hi, _))) = (ranges.first(), ranges.last()) else {
+        return String::new();
+    };
+    let width = width.max(1);
+    let height = height.max(1);
+    let span = (hi - lo).max(1);
+
+    // Down-sample into columns.
+    let mut columns = vec![0u64; width];
+    for &(addr, count) in &ranges {
+        let col = ((addr - lo) as u128 * (width as u128 - 1) / span as u128) as usize;
+        columns[col] += count;
+    }
+    let max = columns.iter().copied().max().unwrap_or(0).max(1);
+
+    let mut out = String::new();
+    for row in (1..=height).rev() {
+        let threshold = max as f64 * row as f64 / height as f64;
+        for &c in &columns {
+            out.push(if (c as f64) >= threshold { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:#x} .. {:#x}  (peak column: {} events)\n",
+        lo,
+        hi + 1024,
+        max
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_renders_empty() {
+        let map = AddressHistogram::paper();
+        assert_eq!(render_address_map(&map, 40, 6), "");
+    }
+
+    #[test]
+    fn single_peak_fills_one_column() {
+        let mut map = AddressHistogram::paper();
+        map.add_n(0, 100);
+        map.add_n(40 * 1024, 30);
+        let chart = render_address_map(&map, 40, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 5 chart rows + separator + legend.
+        assert_eq!(lines.len(), 7);
+        // The top row contains exactly one '#' (the 100-count peak).
+        assert_eq!(lines[0].matches('#').count(), 1);
+        // The bottom chart row (threshold 20) contains both columns.
+        assert_eq!(lines[4].matches('#').count(), 2);
+    }
+
+    #[test]
+    fn all_columns_bounded_by_width() {
+        let mut map = AddressHistogram::paper();
+        for i in 0..200u64 {
+            map.add_n(i * 1024, i % 7 + 1);
+        }
+        let chart = render_address_map(&map, 32, 4);
+        for line in chart.lines().take(4) {
+            assert!(line.chars().count() <= 32);
+        }
+    }
+
+    #[test]
+    fn legend_mentions_range() {
+        let mut map = AddressHistogram::paper();
+        map.add_n(0x1000, 5);
+        map.add_n(0x9000, 2);
+        let chart = render_address_map(&map, 10, 3);
+        assert!(chart.contains("0x1000"));
+        assert!(chart.contains("peak column"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Generic bounded histograms.
+
+/// A histogram over explicit upper bucket bounds, with an overflow bucket.
+///
+/// Buckets are `(-inf, uppers[0]]`, `(uppers[0], uppers[1]]`, ...,
+/// `(uppers[n-1], +inf)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoundedHistogram {
+    uppers: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl BoundedHistogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uppers` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(uppers: Vec<f64>) -> Self {
+        assert!(!uppers.is_empty(), "histogram needs at least one bound");
+        assert!(
+            uppers.windows(2).all(|w| w[0] < w[1]),
+            "bounds must ascend strictly"
+        );
+        let n = uppers.len();
+        Self {
+            uppers,
+            counts: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    /// Decade bounds `10^1 .. 10^k` (handy for reuse-distance and
+    /// iteration-count histograms).
+    #[must_use]
+    pub fn decades(k: u32) -> Self {
+        Self::new((1..=k).map(|e| 10f64.powi(e as i32)).collect())
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.record_n(x, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        let idx = self.uppers.partition_point(|&u| u < x);
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `i` (the last index is the overflow bucket).
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of buckets (bounds + overflow).
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fraction of samples in bucket `i`.
+    #[must_use]
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / self.total as f64
+    }
+
+    /// Fraction of samples at or below `x`.
+    #[must_use]
+    pub fn cumulative_fraction(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = self.uppers.partition_point(|&u| u < x);
+        let below: u64 = self.counts[..=idx.min(self.counts.len() - 1)].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Human-readable bucket labels.
+    #[must_use]
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::with_capacity(self.counts.len());
+        let mut prev: Option<f64> = None;
+        for &u in &self.uppers {
+            labels.push(match prev {
+                None => format!("<={u}"),
+                Some(p) => format!("({p},{u}]"),
+            });
+            prev = Some(u);
+        }
+        labels.push(format!(">{}", self.uppers.last().unwrap()));
+        labels
+    }
+
+    /// Iterates `(label, count, fraction)` per bucket.
+    pub fn rows(&self) -> impl Iterator<Item = (String, u64, f64)> + '_ {
+        self.labels()
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (l, self.counts[i], self.fraction(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_line() {
+        let mut h = BoundedHistogram::new(vec![10.0, 100.0]);
+        h.record(5.0);
+        h.record(10.0); // inclusive upper
+        h.record(50.0);
+        h.record(1000.0);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = BoundedHistogram::decades(3);
+        for x in [1.0, 5.0, 50.0, 500.0, 5000.0] {
+            h.record(x);
+        }
+        let sum: f64 = (0..h.num_buckets()).map(|i| h.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_fraction_is_monotone() {
+        let mut h = BoundedHistogram::decades(4);
+        for x in [2.0, 20.0, 200.0, 2_000.0, 20_000.0] {
+            h.record(x);
+        }
+        assert!(h.cumulative_fraction(10.0) <= h.cumulative_fraction(100.0));
+        // 4 of 5 samples are ≤ 10⁴; the 20 000 sample is in overflow.
+        assert!((h.cumulative_fraction(10_000.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_weights_samples() {
+        let mut h = BoundedHistogram::new(vec![1.0]);
+        h.record_n(0.5, 9);
+        h.record_n(2.0, 1);
+        assert!((h.fraction(0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_cover_all_buckets() {
+        let h = BoundedHistogram::new(vec![10.0, 100.0]);
+        assert_eq!(h.labels().len(), 3);
+        assert_eq!(h.labels()[0], "<=10");
+        assert_eq!(h.labels()[2], ">100");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn non_ascending_bounds_panic() {
+        let _ = BoundedHistogram::new(vec![10.0, 5.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Locality characterization — the measurement half of the paper
+//! (Section 3) plus table/figure rendering helpers.
+//!
+//! Every module regenerates one family of the paper's artifacts:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`arcs`] | Figure 3 (arc-probability bimodality) |
+//! | [`loops`] | Table 3, Figures 4 and 5 (loop behaviour) |
+//! | [`temporal`] | Figures 6, 7, 8 (invocation skew, reuse distance) |
+//! | [`missmap`] | Figures 1, 2, 14 (references/misses vs address) |
+//! | [`figures`] | ASCII rendering of the address-map figures |
+//! | [`refchar`] | Table 1 (executed footprint, invocation mix) |
+//! | [`spatial`] | Table 2 (sequence predictability and weight) |
+//! | [`classify`] | Figure 13 (references/misses by block class) |
+//! | [`report`] | ASCII tables and bar charts for all of the above |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arcs;
+pub mod classify;
+pub mod figures;
+pub mod histogram;
+pub mod loops;
+pub mod missmap;
+pub mod refchar;
+pub mod report;
+pub mod spatial;
+pub mod temporal;

@@ -1,0 +1,203 @@
+//! Loop behaviour (Table 3, Figures 4 and 5).
+
+use oslay_model::{fetch_words, Program};
+use oslay_profile::{LoopAnalysis, NaturalLoop, Profile};
+
+use crate::histogram::BoundedHistogram;
+
+/// Table 3: how much of the kernel's dynamic and static instruction stream
+/// belongs to loops *without* procedure calls.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoopFractions {
+    /// Dynamic instructions inside call-free loops over all dynamic
+    /// instructions (paper: 29–39% for the OS-bound workloads).
+    pub dynamic_fraction: f64,
+    /// Static bytes of executed call-free loop code over executed bytes
+    /// (paper: ≈ 3%).
+    pub static_executed_fraction: f64,
+    /// Static bytes of executed call-free loop code over all code
+    /// (paper: ≈ 0.1–0.4%).
+    pub static_total_fraction: f64,
+    /// Number of distinct executed call-free loops.
+    pub num_call_free: usize,
+    /// Number of distinct executed loops with calls.
+    pub num_with_calls: usize,
+}
+
+/// Measures Table 3's fractions.
+#[must_use]
+pub fn loop_fractions(program: &Program, profile: &Profile, loops: &LoopAnalysis) -> LoopFractions {
+    let mut in_loop_nocall = vec![false; program.num_blocks()];
+    let mut num_call_free = 0;
+    let mut num_with_calls = 0;
+    for l in loops.executed_loops() {
+        if l.has_calls {
+            num_with_calls += 1;
+        } else {
+            num_call_free += 1;
+            for &b in &l.body {
+                in_loop_nocall[b.index()] = true;
+            }
+        }
+    }
+
+    let mut dyn_loop = 0u64;
+    let mut dyn_total = 0u64;
+    let mut static_loop = 0u64;
+    let mut static_exec = 0u64;
+    let mut static_total = 0u64;
+    for (id, block) in program.blocks() {
+        let words = u64::from(fetch_words(block.size()));
+        let n = profile.node_weight(id);
+        dyn_total += n * words;
+        static_total += words;
+        if n > 0 {
+            static_exec += words;
+        }
+        if in_loop_nocall[id.index()] {
+            dyn_loop += n * words;
+            if n > 0 {
+                static_loop += words;
+            }
+        }
+    }
+
+    LoopFractions {
+        dynamic_fraction: ratio(dyn_loop, dyn_total),
+        static_executed_fraction: ratio(static_loop, static_exec),
+        static_total_fraction: ratio(static_loop, static_total),
+        num_call_free,
+        num_with_calls,
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Figure 4/5 distributions for one loop family.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoopShape {
+    /// Iterations per invocation, one sample per distinct loop.
+    pub iterations: BoundedHistogram,
+    /// Executed size in bytes, one sample per distinct loop — body only
+    /// for call-free loops, body + callee closure for loops with calls.
+    pub sizes: BoundedHistogram,
+    /// Number of loops sampled.
+    pub count: usize,
+    /// Median iterations per invocation.
+    pub median_iterations: f64,
+    /// Median size in bytes.
+    pub median_size: f64,
+}
+
+/// Characterizes the executed loops of one family (Figure 4: call-free;
+/// Figure 5: with calls).
+#[must_use]
+pub fn loop_shape<'a>(loops: impl Iterator<Item = &'a NaturalLoop>) -> LoopShape {
+    let mut iterations = BoundedHistogram::new(vec![
+        1.0, 2.0, 4.0, 6.0, 10.0, 25.0, 50.0, 100.0, 300.0,
+    ]);
+    let mut sizes = BoundedHistogram::new(vec![
+        50.0, 100.0, 300.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0,
+    ]);
+    let mut iters_all = Vec::new();
+    let mut sizes_all = Vec::new();
+    for l in loops {
+        let it = l.iterations_per_entry();
+        if it <= 0.0 {
+            continue;
+        }
+        let size = if l.has_calls {
+            l.executed_span_bytes
+        } else {
+            l.executed_body_bytes
+        } as f64;
+        iterations.record(it);
+        sizes.record(size);
+        iters_all.push(it);
+        sizes_all.push(size);
+    }
+    LoopShape {
+        count: iters_all.len(),
+        median_iterations: median(&mut iters_all),
+        median_size: median(&mut sizes_all),
+        iterations,
+        sizes,
+    }
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+    use oslay_trace::{standard_workloads, Engine, EngineConfig};
+
+    fn setup() -> (Program, Profile, LoopAnalysis) {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 61));
+        let specs = standard_workloads(&k.tables);
+        let t = Engine::new(&k.program, None, &specs[3], EngineConfig::new(12)).run(80_000);
+        let p = Profile::collect(&k.program, &t);
+        let la = LoopAnalysis::analyze(&k.program, &p);
+        (k.program, p, la)
+    }
+
+    #[test]
+    fn dynamic_loop_fraction_is_moderate() {
+        let (program, profile, la) = setup();
+        let f = loop_fractions(&program, &profile, &la);
+        // The paper's OS workloads: 29-39% dynamic, a few percent of
+        // executed static code. Accept a wide band for the tiny kernel.
+        assert!(
+            (0.02..0.7).contains(&f.dynamic_fraction),
+            "dynamic {}",
+            f.dynamic_fraction
+        );
+        assert!(f.static_executed_fraction < 0.4);
+        assert!(f.static_total_fraction < f.static_executed_fraction);
+        assert!(f.num_call_free > 0);
+    }
+
+    #[test]
+    fn call_loops_are_bigger_than_call_free_loops() {
+        let (_, _, la) = setup();
+        let free = loop_shape(la.executed_loops().filter(|l| !l.has_calls));
+        let call = loop_shape(la.executed_loops().filter(|l| l.has_calls));
+        assert!(free.count > 0);
+        if call.count > 0 {
+            assert!(
+                call.median_size > free.median_size,
+                "call loops {} <= free loops {}",
+                call.median_size,
+                free.median_size
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_histogram_totals_match_count() {
+        let (_, _, la) = setup();
+        let shape = loop_shape(la.executed_loops());
+        assert_eq!(shape.iterations.total() as usize, shape.count);
+        assert_eq!(shape.sizes.total() as usize, shape.count);
+    }
+
+    #[test]
+    fn median_of_empty_is_zero() {
+        let shape = loop_shape(std::iter::empty());
+        assert_eq!(shape.count, 0);
+        assert_eq!(shape.median_iterations, 0.0);
+    }
+}

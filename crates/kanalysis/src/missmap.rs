@@ -1,0 +1,146 @@
+//! References and misses as a function of code address
+//! (Figures 1, 2 and 14).
+
+use std::collections::BTreeMap;
+
+/// A histogram over address ranges of fixed granularity (the paper plots
+//  one point per 1 KB of code).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AddressHistogram {
+    granularity: u64,
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl AddressHistogram {
+    /// Creates a histogram with the given range granularity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity == 0`.
+    #[must_use]
+    pub fn new(granularity: u64) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        Self {
+            granularity,
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// The paper's 1 KB granularity.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(1024)
+    }
+
+    /// Records one event at `addr`.
+    pub fn add(&mut self, addr: u64) {
+        self.add_n(addr, 1);
+    }
+
+    /// Records `n` events at `addr`.
+    pub fn add_n(&mut self, addr: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(addr / self.granularity).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total events recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Nonempty ranges as `(range start address, count)`, ascending.
+    #[must_use]
+    pub fn ranges(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .map(|(&bucket, &count)| (bucket * self.granularity, count))
+            .collect()
+    }
+
+    /// The `k` heaviest ranges, descending by count.
+    #[must_use]
+    pub fn peaks(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut v = self.ranges();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Fraction of all events inside the `k` heaviest ranges — the paper's
+    /// observation that misses cluster in narrow address ranges.
+    #[must_use]
+    pub fn peak_concentration(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.peaks(k).iter().map(|&(_, c)| c).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// Largest single-range count.
+    #[must_use]
+    pub fn max_count(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_their_kilobyte() {
+        let mut h = AddressHistogram::paper();
+        h.add(0);
+        h.add(1023);
+        h.add(1024);
+        h.add_n(5000, 3);
+        let ranges = h.ranges();
+        assert_eq!(ranges, vec![(0, 2), (1024, 1), (4096, 3)]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn peaks_are_sorted_descending() {
+        let mut h = AddressHistogram::new(16);
+        h.add_n(0, 5);
+        h.add_n(16, 9);
+        h.add_n(32, 2);
+        assert_eq!(h.peaks(2), vec![(16, 9), (0, 5)]);
+        assert_eq!(h.max_count(), 9);
+    }
+
+    #[test]
+    fn peak_concentration_bounds() {
+        let mut h = AddressHistogram::new(16);
+        for i in 0..10u64 {
+            h.add_n(i * 16, 1);
+        }
+        h.add_n(160, 90);
+        let c = h.peak_concentration(1);
+        assert!((c - 0.9).abs() < 1e-12);
+        assert!((h.peak_concentration(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = AddressHistogram::paper();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.peak_concentration(3), 0.0);
+        assert!(h.ranges().is_empty());
+    }
+
+    #[test]
+    fn zero_count_add_is_noop() {
+        let mut h = AddressHistogram::paper();
+        h.add_n(100, 0);
+        assert_eq!(h.total(), 0);
+        assert!(h.ranges().is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text table and bar-chart rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with column alignment (first column left, rest
+    /// right-aligned, as numeric tables read best).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            render_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII bar chart (one bar per labelled value),
+/// scaled so the largest value spans `width` characters.
+#[must_use]
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} | {} {value:.4}",
+            "#".repeat(bar_len)
+        );
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats bytes as a human-readable KB value.
+#[must_use]
+pub fn kb(bytes: u64) -> String {
+    format!("{:.1} KB", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "1000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // Right-aligned numeric column: both data lines end together.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let items = vec![("a".to_owned(), 2.0), ("bb".to_owned(), 4.0)];
+        let s = bar_chart(&items, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("##########"));
+        assert!(lines[0].contains("#####"));
+        assert!(!lines[0].contains("######"));
+    }
+
+    #[test]
+    fn empty_bar_chart_is_safe() {
+        assert_eq!(bar_chart(&[], 10), "");
+        let zero = vec![("z".to_owned(), 0.0)];
+        assert!(bar_chart(&zero, 10).contains("z"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(kb(2048), "2.0 KB");
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-set pressure census.
+//!
+//! The paper's whole argument is about *where* conflicts land: Base piles
+//! the hot code onto a few cache sets (the sharp peaks of Figure 1), while
+//! `OptS` spreads equally-hot code across sets and keeps the SelfConfFree
+//! sets quiet. [`SetCensus`] instruments a simulation with per-set access
+//! and miss counters so that claim can be measured directly (the
+//! `ext_set_pressure` experiment binary does so).
+
+use oslay_model::Domain;
+
+use crate::{AccessOutcome, CacheConfig, InstructionCache, MissStats};
+
+/// A wrapper that counts accesses and misses per cache set while
+/// delegating to an inner cache.
+#[derive(Debug)]
+pub struct SetCensus<C> {
+    inner: C,
+    cfg: CacheConfig,
+    accesses: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+impl<C: InstructionCache> SetCensus<C> {
+    /// Wraps `inner`; `cfg` must describe the same set mapping the inner
+    /// cache uses (for a plain [`crate::Cache`], its own config).
+    #[must_use]
+    pub fn new(inner: C, cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets() as usize;
+        Self {
+            inner,
+            cfg,
+            accesses: vec![0; sets],
+            misses: vec![0; sets],
+        }
+    }
+
+    /// Accesses per set.
+    #[must_use]
+    pub fn set_accesses(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Misses per set.
+    #[must_use]
+    pub fn set_misses(&self) -> &[u64] {
+        &self.misses
+    }
+
+    /// The inner cache.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner cache.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Fraction of all misses concentrated in the `k` worst sets — the
+    /// set-level analogue of the paper's miss-peak concentration.
+    #[must_use]
+    pub fn miss_concentration(&self, k: usize) -> f64 {
+        let total: u64 = self.misses.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.misses.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = sorted.iter().take(k).sum();
+        top as f64 / total as f64
+    }
+
+    /// Coefficient of variation (σ/μ) of per-set miss counts: 0 means the
+    /// pressure is perfectly even; large values mean a few sets thrash.
+    #[must_use]
+    pub fn miss_imbalance(&self) -> f64 {
+        let n = self.misses.len() as f64;
+        let mean = self.misses.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .misses
+            .iter()
+            .map(|&m| {
+                let d = m as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+impl<C: InstructionCache> InstructionCache for SetCensus<C> {
+    fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
+        let set = self.cfg.set_of(addr) as usize;
+        let outcome = self.inner.access(addr, domain);
+        self.accesses[set] += 1;
+        if outcome.is_miss() {
+            self.misses[set] += 1;
+        }
+        outcome
+    }
+
+    fn stats(&self) -> &MissStats {
+        self.inner.stats()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.accesses.fill(0);
+        self.misses.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cache;
+
+    fn census() -> SetCensus<Cache> {
+        let cfg = CacheConfig::new(128, 16, 1); // 8 sets
+        SetCensus::new(Cache::new(cfg), cfg)
+    }
+
+    #[test]
+    fn counts_land_in_the_right_set() {
+        let mut c = census();
+        c.access(0, Domain::Os); // set 0, miss
+        c.access(16, Domain::Os); // set 1, miss
+        c.access(0, Domain::Os); // set 0, hit
+        assert_eq!(c.set_accesses()[0], 2);
+        assert_eq!(c.set_accesses()[1], 1);
+        assert_eq!(c.set_misses()[0], 1);
+        assert_eq!(c.set_misses()[1], 1);
+    }
+
+    #[test]
+    fn concentration_of_single_hot_set() {
+        let mut c = census();
+        // Thrash set 0 only: lines 0 and 128 conflict.
+        for _ in 0..10 {
+            c.access(0, Domain::Os);
+            c.access(128, Domain::Os);
+        }
+        assert!((c.miss_concentration(1) - 1.0).abs() < 1e-12);
+        assert!(c.miss_imbalance() > 1.0, "imbalance {}", c.miss_imbalance());
+    }
+
+    #[test]
+    fn even_pressure_has_low_imbalance() {
+        let mut c = census();
+        // Thrash every set equally.
+        for round in 0..10u64 {
+            for set in 0..8u64 {
+                let conflict = if round % 2 == 0 { 0 } else { 128 };
+                c.access(set * 16 + conflict, Domain::Os);
+            }
+        }
+        assert!(c.miss_imbalance() < 0.2, "imbalance {}", c.miss_imbalance());
+        assert!((c.miss_concentration(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_pass_through_and_reset() {
+        let mut c = census();
+        c.access(0, Domain::Os);
+        assert_eq!(c.stats().total_accesses(), 1);
+        c.reset();
+        assert_eq!(c.stats().total_accesses(), 0);
+        assert_eq!(c.set_accesses()[0], 0);
+        assert_eq!(c.miss_concentration(1), 0.0);
+        assert_eq!(c.miss_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn into_inner_returns_the_cache() {
+        let mut c = census();
+        c.access(0, Domain::Os);
+        let inner = c.into_inner();
+        assert_eq!(inner.stats().total_accesses(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cache geometry.
+
+use std::fmt;
+
+/// Geometry of one cache: total size, line size, associativity.
+///
+/// The paper sweeps 4–32 KB total size (Figure 15), 16–128 byte lines
+/// (Figure 17-a) and 1–8 way associativity (Figure 17-b); its default
+/// evaluation cache is 8 KB direct-mapped with 32-byte lines.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct CacheConfig {
+    size: u32,
+    line: u32,
+    ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size`, `line` and `ways` are powers of two,
+    /// `line <= size`, and `ways <= size / line`.
+    #[must_use]
+    pub fn new(size: u32, line: u32, ways: u32) -> Self {
+        assert!(size.is_power_of_two(), "cache size must be a power of two");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(ways.is_power_of_two(), "associativity must be a power of two");
+        assert!(line <= size, "line larger than cache");
+        assert!(ways <= size / line, "more ways than lines");
+        Self { size, line, ways }
+    }
+
+    /// The paper's default evaluation cache: 8 KB, direct-mapped, 32-byte
+    /// lines.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(8 * 1024, 32, 1)
+    }
+
+    /// The Alliant FX/8's per-processor instruction cache: 16 KB
+    /// direct-mapped (Figure 1 uses this geometry).
+    #[must_use]
+    pub fn alliant() -> Self {
+        Self::new(16 * 1024, 32, 1)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Associativity (1 = direct-mapped).
+    #[must_use]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> u32 {
+        self.size / self.line / self.ways
+    }
+
+    /// Line-aligned address (the unit of caching and of miss
+    /// classification).
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !u64::from(self.line - 1)
+    }
+
+    /// Set index of an address.
+    #[must_use]
+    pub fn set_of(&self, addr: u64) -> u32 {
+        ((addr / u64::from(self.line)) % u64::from(self.num_sets())) as u32
+    }
+
+    /// Returns this geometry with a different total size.
+    #[must_use]
+    pub fn with_size(self, size: u32) -> Self {
+        Self::new(size, self.line, self.ways.min(size / self.line))
+    }
+
+    /// Returns this geometry with a different line size.
+    #[must_use]
+    pub fn with_line(self, line: u32) -> Self {
+        Self::new(self.size, line, self.ways.min(self.size / line))
+    }
+
+    /// Returns this geometry with a different associativity.
+    #[must_use]
+    pub fn with_ways(self, ways: u32) -> Self {
+        Self::new(self.size, self.line, ways)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}B/{}-way",
+            self.size / 1024,
+            self.line,
+            self.ways
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.size(), 8192);
+        assert_eq!(c.line(), 32);
+        assert_eq!(c.ways(), 1);
+        assert_eq!(c.num_sets(), 256);
+        assert_eq!(c.to_string(), "8KB/32B/1-way");
+    }
+
+    #[test]
+    fn alliant_geometry_matches_the_fx8() {
+        let c = CacheConfig::alliant();
+        assert_eq!(c.size(), 16 * 1024);
+        assert_eq!(c.ways(), 1);
+        assert_eq!(c.num_sets() * c.line(), c.size());
+    }
+
+    #[test]
+    fn set_mapping_wraps_at_cache_size() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(31), 0);
+        assert_eq!(c.set_of(32), 1);
+        // Two addresses one cache-size apart conflict (direct-mapped).
+        assert_eq!(c.set_of(100), c.set_of(100 + 8192));
+    }
+
+    #[test]
+    fn line_addr_aligns_down() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.line_addr(0), 0);
+        assert_eq!(c.line_addr(33), 32);
+        assert_eq!(c.line_addr(63), 32);
+    }
+
+    #[test]
+    fn with_ways_changes_sets() {
+        let c = CacheConfig::paper_default().with_ways(4);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.ways(), 4);
+    }
+
+    #[test]
+    fn with_size_clamps_ways() {
+        let c = CacheConfig::new(8192, 32, 8).with_size(512);
+        assert!(c.ways() <= c.size() / c.line());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = CacheConfig::new(3000, 32, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ways than lines")]
+    fn too_many_ways_rejected() {
+        let _ = CacheConfig::new(64, 32, 4);
+    }
+}

@@ -1,0 +1,347 @@
+//! The core set-associative LRU cache simulator.
+
+use std::collections::HashMap;
+
+use oslay_model::Domain;
+
+use crate::{CacheConfig, InstructionCache, MissStats};
+
+/// Why a miss happened.
+///
+/// This is the decomposition used throughout the paper's evaluation: cold
+/// misses turn out to be negligible, operating-system *self*-interference
+/// dominates (over 90% of OS misses in every workload studied), and the
+/// optimizations attack exactly that component.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum MissKind {
+    /// First-ever reference to the line.
+    Cold,
+    /// An OS line was evicted by other OS code and refetched.
+    OsSelf,
+    /// An OS line was evicted by application code and refetched.
+    OsByApp,
+    /// An application line was evicted by other application code.
+    AppSelf,
+    /// An application line was evicted by OS code.
+    AppByOs,
+}
+
+impl MissKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [MissKind; 5] = [
+        MissKind::Cold,
+        MissKind::OsSelf,
+        MissKind::OsByApp,
+        MissKind::AppSelf,
+        MissKind::AppByOs,
+    ];
+
+    /// Dense index (`0..5`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            MissKind::Cold => 0,
+            MissKind::OsSelf => 1,
+            MissKind::OsByApp => 2,
+            MissKind::AppSelf => 3,
+            MissKind::AppByOs => 4,
+        }
+    }
+
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MissKind::Cold => "cold",
+            MissKind::OsSelf => "os-self",
+            MissKind::OsByApp => "os-by-app",
+            MissKind::AppSelf => "app-self",
+            MissKind::AppByOs => "app-by-os",
+        }
+    }
+
+    /// Classifies a miss of `victim` domain given who evicted the line
+    /// last (`None` = never cached).
+    #[must_use]
+    pub fn classify(victim: Domain, evictor: Option<Domain>) -> Self {
+        match (victim, evictor) {
+            (_, None) => MissKind::Cold,
+            (Domain::Os, Some(Domain::Os)) => MissKind::OsSelf,
+            (Domain::Os, Some(Domain::App)) => MissKind::OsByApp,
+            (Domain::App, Some(Domain::App)) => MissKind::AppSelf,
+            (Domain::App, Some(Domain::Os)) => MissKind::AppByOs,
+        }
+    }
+}
+
+/// Outcome of one fetch.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum AccessOutcome {
+    /// The word was in the cache.
+    Hit,
+    /// The word missed, for the stated reason.
+    Miss(MissKind),
+}
+
+impl AccessOutcome {
+    /// True for misses.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        matches!(self, AccessOutcome::Miss(_))
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Way {
+    line: u64,
+    lru: u64,
+    valid: bool,
+}
+
+impl Way {
+    const EMPTY: Way = Way {
+        line: 0,
+        lru: 0,
+        valid: false,
+    };
+}
+
+/// A unified set-associative LRU instruction cache.
+///
+/// # Example
+///
+/// ```
+/// use oslay_cache::{AccessOutcome, Cache, CacheConfig, InstructionCache, MissKind};
+/// use oslay_model::Domain;
+///
+/// let mut cache = Cache::new(CacheConfig::paper_default());
+/// assert_eq!(
+///     cache.access(0x100, Domain::Os),
+///     AccessOutcome::Miss(MissKind::Cold)
+/// );
+/// assert_eq!(cache.access(0x104, Domain::Os), AccessOutcome::Hit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    /// Last evictor per line address (absent = never evicted; paired with
+    /// `seen` to distinguish cold misses).
+    evicted_by: HashMap<u64, Domain>,
+    seen: std::collections::HashSet<u64>,
+    clock: u64,
+    stats: MissStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let slots = (cfg.num_sets() * cfg.ways()) as usize;
+        Self {
+            cfg,
+            ways: vec![Way::EMPTY; slots],
+            evicted_by: HashMap::new(),
+            seen: std::collections::HashSet::new(),
+            clock: 0,
+            stats: MissStats::default(),
+        }
+    }
+
+    /// This cache's geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    fn set_slice(&mut self, set: u32) -> &mut [Way] {
+        let w = self.cfg.ways() as usize;
+        let base = set as usize * w;
+        &mut self.ways[base..base + w]
+    }
+}
+
+impl InstructionCache for Cache {
+    fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let line = self.cfg.line_addr(addr);
+        let set = self.cfg.set_of(addr);
+        let ways = self.set_slice(set);
+
+        // Hit?
+        for way in ways.iter_mut() {
+            if way.valid && way.line == line {
+                way.lru = clock;
+                self.stats.record(domain, AccessOutcome::Hit);
+                return AccessOutcome::Hit;
+            }
+        }
+
+        // Miss: classify, then fill the LRU (or an invalid) way.
+        let victim_slot = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.lru))
+            .map(|(i, _)| i)
+            .expect("cache sets are never empty");
+        let evictee = ways[victim_slot];
+        ways[victim_slot] = Way {
+            line,
+            lru: clock,
+            valid: true,
+        };
+        if evictee.valid {
+            self.evicted_by.insert(evictee.line, domain);
+        }
+        let kind = if self.seen.insert(line) {
+            MissKind::Cold
+        } else {
+            MissKind::classify(domain, self.evicted_by.get(&line).copied())
+        };
+        let outcome = AccessOutcome::Miss(kind);
+        self.stats.record(domain, outcome);
+        outcome
+    }
+
+    fn stats(&self) -> &MissStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        self.ways.fill(Way::EMPTY);
+        self.evicted_by.clear();
+        self.seen.clear();
+        self.clock = 0;
+        self.stats = MissStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm64() -> Cache {
+        // 64-byte direct-mapped cache with 16-byte lines: 4 sets.
+        Cache::new(CacheConfig::new(64, 16, 1))
+    }
+
+    #[test]
+    fn cold_then_hit_within_line() {
+        let mut c = dm64();
+        assert_eq!(c.access(0, Domain::Os), AccessOutcome::Miss(MissKind::Cold));
+        assert_eq!(c.access(4, Domain::Os), AccessOutcome::Hit);
+        assert_eq!(c.access(15, Domain::Os), AccessOutcome::Hit);
+        assert_eq!(c.access(16, Domain::Os), AccessOutcome::Miss(MissKind::Cold));
+    }
+
+    #[test]
+    fn self_interference_classified() {
+        let mut c = dm64();
+        // 0 and 64 conflict in set 0.
+        assert!(c.access(0, Domain::Os).is_miss()); // cold
+        assert!(c.access(64, Domain::Os).is_miss()); // cold, evicts 0 by OS
+        assert_eq!(
+            c.access(0, Domain::Os),
+            AccessOutcome::Miss(MissKind::OsSelf)
+        );
+    }
+
+    #[test]
+    fn cross_interference_classified_both_ways() {
+        let mut c = dm64();
+        assert!(c.access(0, Domain::Os).is_miss());
+        assert!(c.access(64, Domain::App).is_miss()); // app evicts OS line
+        assert_eq!(
+            c.access(0, Domain::Os),
+            AccessOutcome::Miss(MissKind::OsByApp)
+        );
+        // Now OS evicted the app line at 64.
+        assert_eq!(
+            c.access(64, Domain::App),
+            AccessOutcome::Miss(MissKind::AppByOs)
+        );
+    }
+
+    #[test]
+    fn app_self_interference() {
+        let mut c = dm64();
+        assert!(c.access(0, Domain::App).is_miss());
+        assert!(c.access(64, Domain::App).is_miss());
+        assert_eq!(
+            c.access(0, Domain::App),
+            AccessOutcome::Miss(MissKind::AppSelf)
+        );
+    }
+
+    #[test]
+    fn two_way_cache_holds_both_conflicting_lines() {
+        let mut c = Cache::new(CacheConfig::new(64, 16, 2));
+        assert!(c.access(0, Domain::Os).is_miss());
+        assert!(c.access(64, Domain::Os).is_miss());
+        assert_eq!(c.access(0, Domain::Os), AccessOutcome::Hit);
+        assert_eq!(c.access(64, Domain::Os), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2 sets × 2 ways, 16B lines: set 0 holds lines 0, 32, 64, ...
+        let mut c = Cache::new(CacheConfig::new(64, 16, 2));
+        c.access(0, Domain::Os); // line 0
+        c.access(32, Domain::Os); // line 32 (same set)
+        c.access(0, Domain::Os); // touch line 0: 32 is now LRU
+        c.access(64, Domain::Os); // evicts 32
+        assert_eq!(c.access(0, Domain::Os), AccessOutcome::Hit);
+        assert!(c.access(32, Domain::Os).is_miss());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut c = dm64();
+        c.access(0, Domain::Os);
+        c.access(0, Domain::Os);
+        c.access(64, Domain::App);
+        let s = c.stats();
+        assert_eq!(s.accesses(Domain::Os), 2);
+        assert_eq!(s.accesses(Domain::App), 1);
+        assert_eq!(s.total_misses(), 2);
+        c.reset();
+        assert_eq!(c.stats().total_accesses(), 0);
+        // After reset, previously-seen lines are cold again.
+        assert_eq!(c.access(0, Domain::Os), AccessOutcome::Miss(MissKind::Cold));
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(MissKind::classify(Domain::Os, None), MissKind::Cold);
+        assert_eq!(
+            MissKind::classify(Domain::Os, Some(Domain::Os)),
+            MissKind::OsSelf
+        );
+        assert_eq!(
+            MissKind::classify(Domain::Os, Some(Domain::App)),
+            MissKind::OsByApp
+        );
+        assert_eq!(
+            MissKind::classify(Domain::App, Some(Domain::App)),
+            MissKind::AppSelf
+        );
+        assert_eq!(
+            MissKind::classify(Domain::App, Some(Domain::Os)),
+            MissKind::AppByOs
+        );
+    }
+
+    #[test]
+    fn eviction_attribution_updates_over_time() {
+        let mut c = dm64();
+        c.access(0, Domain::Os);
+        c.access(64, Domain::App); // app evicts OS:0
+        c.access(0, Domain::Os); // OsByApp; OS evicts App:64
+        c.access(64, Domain::Os); // OS line now at 64; evicts OS:0 by OS
+        assert_eq!(
+            c.access(0, Domain::Os),
+            AccessOutcome::Miss(MissKind::OsSelf)
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Access and miss accounting.
+
+use oslay_model::Domain;
+
+use crate::{AccessOutcome, MissKind};
+
+/// Counters for one simulated cache (or cache complex).
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct MissStats {
+    accesses: [u64; 2],
+    hits: [u64; 2],
+    misses_by_kind: [u64; 5],
+}
+
+impl MissStats {
+    /// Records one access outcome.
+    pub fn record(&mut self, domain: Domain, outcome: AccessOutcome) {
+        self.accesses[domain.index()] += 1;
+        match outcome {
+            AccessOutcome::Hit => self.hits[domain.index()] += 1,
+            AccessOutcome::Miss(kind) => self.misses_by_kind[kind.index()] += 1,
+        }
+    }
+
+    /// Fetches issued by a domain.
+    #[must_use]
+    pub fn accesses(&self, domain: Domain) -> u64 {
+        self.accesses[domain.index()]
+    }
+
+    /// Total fetches.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// Hits by a domain.
+    #[must_use]
+    pub fn hits(&self, domain: Domain) -> u64 {
+        self.hits[domain.index()]
+    }
+
+    /// Misses of one kind.
+    #[must_use]
+    pub fn misses(&self, kind: MissKind) -> u64 {
+        self.misses_by_kind[kind.index()]
+    }
+
+    /// All misses.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.misses_by_kind.iter().sum()
+    }
+
+    /// Misses suffered by a domain (any kind).
+    #[must_use]
+    pub fn domain_misses(&self, domain: Domain) -> u64 {
+        self.accesses(domain) - self.hits(domain)
+    }
+
+    /// Overall miss rate (misses / accesses).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let acc = self.total_accesses();
+        if acc == 0 {
+            return 0.0;
+        }
+        self.total_misses() as f64 / acc as f64
+    }
+
+    /// Miss rate of one domain.
+    #[must_use]
+    pub fn domain_miss_rate(&self, domain: Domain) -> f64 {
+        let acc = self.accesses(domain);
+        if acc == 0 {
+            return 0.0;
+        }
+        self.domain_misses(domain) as f64 / acc as f64
+    }
+
+    /// Merges another stats block into this one (used by composite caches).
+    pub fn merge(&mut self, other: &MissStats) {
+        for (a, b) in self.accesses.iter_mut().zip(&other.accesses) {
+            *a += b;
+        }
+        for (a, b) in self.hits.iter_mut().zip(&other.hits) {
+            *a += b;
+        }
+        for (a, b) in self.misses_by_kind.iter_mut().zip(&other.misses_by_kind) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_identities() {
+        let mut s = MissStats::default();
+        s.record(Domain::Os, AccessOutcome::Hit);
+        s.record(Domain::Os, AccessOutcome::Miss(MissKind::OsSelf));
+        s.record(Domain::App, AccessOutcome::Miss(MissKind::Cold));
+        assert_eq!(s.total_accesses(), 3);
+        assert_eq!(s.total_misses(), 2);
+        assert_eq!(s.domain_misses(Domain::Os), 1);
+        assert_eq!(s.domain_misses(Domain::App), 1);
+        assert_eq!(s.misses(MissKind::OsSelf), 1);
+        assert_eq!(s.misses(MissKind::Cold), 1);
+        assert!((s.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.domain_miss_rate(Domain::Os) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_plus_misses_equal_accesses() {
+        let mut s = MissStats::default();
+        for i in 0..100u64 {
+            let domain = if i % 3 == 0 { Domain::App } else { Domain::Os };
+            let outcome = if i % 2 == 0 {
+                AccessOutcome::Hit
+            } else {
+                AccessOutcome::Miss(MissKind::Cold)
+            };
+            s.record(domain, outcome);
+        }
+        let hits: u64 = s.hits(Domain::Os) + s.hits(Domain::App);
+        assert_eq!(hits + s.total_misses(), s.total_accesses());
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = MissStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.domain_miss_rate(Domain::Os), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MissStats::default();
+        a.record(Domain::Os, AccessOutcome::Miss(MissKind::OsSelf));
+        let mut b = MissStats::default();
+        b.record(Domain::Os, AccessOutcome::Hit);
+        b.record(Domain::App, AccessOutcome::Miss(MissKind::AppByOs));
+        a.merge(&b);
+        assert_eq!(a.total_accesses(), 3);
+        assert_eq!(a.misses(MissKind::AppByOs), 1);
+        assert_eq!(a.hits(Domain::Os), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! The unoptimized `Base` layout.
+
+use oslay_model::Program;
+
+use crate::{Layout, LayoutBuilder};
+
+/// Lays the program out in source order — the original, unoptimized image
+/// the paper calls `Base`. Cold special-case blocks sit inline between hot
+/// blocks and cold routines between hot routines, exactly as the compiler
+/// emitted them.
+///
+/// # Panics
+///
+/// Panics only on internal errors (source order covers every block).
+#[must_use]
+pub fn base_layout(program: &Program, base_addr: u64) -> Layout {
+    let mut lb = LayoutBuilder::new(program, "Base", base_addr);
+    for block in program.source_order() {
+        lb.place(block);
+    }
+    lb.finish().expect("source order places every block once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+
+    #[test]
+    fn base_layout_is_dense_and_ordered() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 2));
+        let l = base_layout(&k.program, 0);
+        // Source order is monotonically increasing in addresses.
+        let mut prev_end = 0u64;
+        for b in k.program.source_order() {
+            assert!(l.addr(b) >= prev_end);
+            prev_end = l.addr(b) + u64::from(l.effective_size(b));
+        }
+        assert_eq!(l.span_end(), prev_end);
+    }
+
+    #[test]
+    fn base_layout_has_no_stretch() {
+        // Every natural fall-through is adjacent in source order.
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 2));
+        let l = base_layout(&k.program, 0);
+        for (id, _) in k.program.blocks() {
+            assert_eq!(l.stretch(id), 0, "block {id} stretched in Base");
+        }
+        assert_eq!(l.static_bytes(), k.program.total_size());
+    }
+
+    #[test]
+    fn base_address_offsets_everything() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 2));
+        let l0 = base_layout(&k.program, 0);
+        let l1 = base_layout(&k.program, 0x1000);
+        for (id, _) in k.program.blocks() {
+            assert_eq!(l0.addr(id) + 0x1000, l1.addr(id));
+        }
+    }
+}

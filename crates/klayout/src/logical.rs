@@ -1,0 +1,297 @@
+//! Logical-cache-aware placement (Section 4.2, Figure 10).
+//!
+//! Memory is viewed as a series of *logical caches*: cache-sized chunks
+//! starting at multiples of the cache size. The lowest `SelfConfFree`
+//! bytes of logical cache 0 hold the globally hottest basic blocks; the
+//! same offset range of every other logical cache is kept free of
+//! sequences and later filled with seldom-executed code, so the hottest
+//! code conflicts with nothing.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use oslay_model::{BlockId, Program, WORD_BYTES};
+
+use crate::{Layout, LayoutBuilder, LayoutError};
+
+/// Sequential allocator that skips the SelfConfFree window of every
+/// logical cache.
+#[derive(Debug)]
+pub struct LogicalCacheAllocator<'p> {
+    builder: LayoutBuilder<'p>,
+    program: &'p Program,
+    cache_size: u64,
+    scf_size: u64,
+    /// SCF windows of logical caches ≥ 1 that the hot region has passed
+    /// (to be filled with cold code).
+    windows: Vec<Range<u64>>,
+}
+
+impl<'p> LogicalCacheAllocator<'p> {
+    /// Creates an allocator. `scf_size` may be 0 (no SelfConfFree area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scf_size >= cache_size`.
+    #[must_use]
+    pub fn new(program: &'p Program, name: impl Into<String>, cache_size: u32, scf_size: u64) -> Self {
+        let cache_size = u64::from(cache_size);
+        assert!(
+            scf_size < cache_size,
+            "SelfConfFree area must be smaller than the cache"
+        );
+        Self {
+            builder: LayoutBuilder::new(program, name, 0),
+            program,
+            cache_size,
+            scf_size,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Places the SelfConfFree blocks at the bottom of logical cache 0.
+    ///
+    /// Must be called before any sequence placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks exceed the declared SCF size or the allocator
+    /// has already placed other code.
+    pub fn place_scf(&mut self, blocks: &[BlockId]) {
+        assert_eq!(self.builder.cursor(), 0, "SCF must be placed first");
+        for &b in blocks {
+            self.builder.place(b);
+        }
+        assert!(
+            self.builder.cursor() <= self.scf_size,
+            "SCF blocks exceed the reserved {} bytes",
+            self.scf_size
+        );
+        self.builder.skip_to(self.scf_size);
+    }
+
+    /// Places one sequence block at the cursor, skipping SCF windows.
+    pub fn place_hot(&mut self, block: BlockId) {
+        if self.scf_size > 0 {
+            let upper = u64::from(self.program.block(block).size()) + u64::from(WORD_BYTES);
+            loop {
+                let cur = self.builder.cursor();
+                let offset = cur % self.cache_size;
+                if offset < self.scf_size {
+                    // Inside a window: jump past it, remembering it for
+                    // cold fill (window 0 belongs to the SCF blocks).
+                    let chunk = cur - offset;
+                    let window_end = chunk + self.scf_size;
+                    if chunk > 0 {
+                        self.note_window(chunk + offset..window_end);
+                    }
+                    self.builder.skip_to(window_end);
+                } else if offset + upper > self.cache_size {
+                    // Would cross into the next chunk's window: move on.
+                    let next_chunk = cur - offset + self.cache_size;
+                    self.note_window(next_chunk..next_chunk + self.scf_size);
+                    self.builder.skip_to(next_chunk + self.scf_size);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.builder.place(block);
+    }
+
+    fn note_window(&mut self, w: Range<u64>) {
+        if w.start < w.end && !self.windows.iter().any(|x| x.start == w.start) {
+            self.windows.push(w);
+        }
+    }
+
+    /// End of the hot region placed so far.
+    #[must_use]
+    pub fn hot_end(&self) -> u64 {
+        self.builder.cursor()
+    }
+
+    /// Base address of the first completely untouched logical cache after
+    /// the hot region (used by the Section 4.4 per-loop logical caches).
+    #[must_use]
+    pub fn next_chunk_base(&self) -> u64 {
+        self.hot_end().div_ceil(self.cache_size) * self.cache_size
+    }
+
+    /// Grants access to the underlying builder for custom placement
+    /// (per-loop logical caches in the `Call` optimization).
+    pub fn builder_mut(&mut self) -> &mut LayoutBuilder<'p> {
+        &mut self.builder
+    }
+
+    /// Registers an extra address range to be treated like an SCF window
+    /// during cold fill (the Section 4.4 optimization leaves gaps that must
+    /// hold "unrelated rarely-executed code").
+    pub fn add_cold_window(&mut self, range: Range<u64>) {
+        self.note_window(range);
+    }
+
+    /// Fills the passed SCF windows with cold code, then appends the rest
+    /// of `cold` after the hot region.
+    ///
+    /// Returns the number of blocks placed into windows.
+    pub fn fill_cold(&mut self, cold: impl IntoIterator<Item = BlockId>) -> usize {
+        let hot_end = self.builder.cursor();
+        self.fill_cold_from(hot_end, cold)
+    }
+
+    /// Like [`LogicalCacheAllocator::fill_cold`], but the sequential tail
+    /// starts no earlier than `tail_from` (callers that placed code beyond
+    /// the sequential cursor pass their true high-water mark).
+    pub fn fill_cold_from(
+        &mut self,
+        tail_from: u64,
+        cold: impl IntoIterator<Item = BlockId>,
+    ) -> usize {
+        let mut queue: VecDeque<BlockId> = cold.into_iter().collect();
+        let mut in_windows = 0;
+        let hot_end = tail_from.max(self.builder.cursor());
+        let windows = std::mem::take(&mut self.windows);
+        for w in &windows {
+            let mut pos = w.start;
+            while let Some(&b) = queue.front() {
+                let upper = u64::from(self.program.block(b).size()) + u64::from(WORD_BYTES);
+                if pos + upper > w.end {
+                    break;
+                }
+                self.builder.place_at(b, pos);
+                pos += upper;
+                queue.pop_front();
+                in_windows += 1;
+            }
+        }
+        // Remainder goes after the hot region (beyond it, cold code may
+        // run straight through future SCF offsets — only seldom-executed
+        // code lands there, which is the point).
+        let mut tail = hot_end;
+        for w in &windows {
+            tail = tail.max(w.end);
+        }
+        if tail > self.builder.cursor() {
+            self.builder.skip_to(tail);
+        } else {
+            // Ensure adjacency bookkeeping does not tie the next cold
+            // block to a window resident.
+            self.builder.skip_to(self.builder.cursor());
+        }
+        while let Some(b) = queue.pop_front() {
+            self.builder.place(b);
+        }
+        in_windows
+    }
+
+    /// Finalizes the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if blocks are missing or overlap.
+    pub fn finish(self) -> Result<Layout, LayoutError> {
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_model::{Domain, ProgramBuilder, SeedKind, Terminator};
+
+    /// A program with `n` independent 24-byte blocks in one routine.
+    fn flat_program(n: usize) -> (oslay_model::Program, Vec<BlockId>) {
+        let mut b = ProgramBuilder::new(Domain::Os);
+        let r = b.begin_routine("f");
+        let blocks: Vec<BlockId> = (0..n).map(|_| b.add_block_no_fallthrough(24)).collect();
+        for &blk in &blocks {
+            b.terminate(blk, Terminator::Return);
+        }
+        b.end_routine();
+        for kind in SeedKind::ALL {
+            b.set_seed(kind, r);
+        }
+        (b.build().unwrap(), blocks)
+    }
+
+    #[test]
+    fn hot_blocks_avoid_scf_windows() {
+        let (p, blocks) = flat_program(100);
+        let mut alloc = LogicalCacheAllocator::new(&p, "t", 256, 64);
+        alloc.place_scf(&blocks[..2]);
+        for &b in &blocks[2..60] {
+            alloc.place_hot(b);
+        }
+        let hot_end = alloc.hot_end();
+        let l = {
+            let mut a = alloc;
+            a.fill_cold(blocks[60..].iter().copied());
+            a.finish().unwrap()
+        };
+        for &b in &blocks[2..60] {
+            let offset = l.addr(b) % 256;
+            assert!(
+                offset >= 64,
+                "hot block {b} at offset {offset} inside an SCF window"
+            );
+            assert!(offset + 24 <= 256, "hot block crosses chunk boundary");
+        }
+        assert!(hot_end > 256, "hot region spans several logical caches");
+    }
+
+    #[test]
+    fn scf_blocks_sit_at_the_bottom_of_chunk_zero() {
+        let (p, blocks) = flat_program(10);
+        let mut alloc = LogicalCacheAllocator::new(&p, "t", 256, 64);
+        alloc.place_scf(&blocks[..2]);
+        for &b in &blocks[2..6] {
+            alloc.place_hot(b);
+        }
+        alloc.fill_cold(blocks[6..].iter().copied());
+        let l = alloc.finish().unwrap();
+        assert!(l.addr(blocks[0]) < 64);
+        assert!(l.addr(blocks[1]) < 64);
+        assert!(l.addr(blocks[2]) >= 64);
+    }
+
+    #[test]
+    fn cold_fill_lands_in_windows_first() {
+        let (p, blocks) = flat_program(120);
+        let mut alloc = LogicalCacheAllocator::new(&p, "t", 256, 64);
+        alloc.place_scf(&blocks[..2]);
+        for &b in &blocks[2..60] {
+            alloc.place_hot(b);
+        }
+        let filled = alloc.fill_cold(blocks[60..].iter().copied());
+        assert!(filled > 0, "some cold blocks must land in windows");
+        let l = alloc.finish().unwrap();
+        // At least one cold block occupies an SCF offset of a chunk > 0.
+        let in_window = blocks[60..].iter().any(|&b| {
+            let a = l.addr(b);
+            a >= 256 && a % 256 < 64
+        });
+        assert!(in_window);
+    }
+
+    #[test]
+    fn zero_scf_size_means_plain_sequential() {
+        let (p, blocks) = flat_program(20);
+        let mut alloc = LogicalCacheAllocator::new(&p, "t", 256, 0);
+        for &b in &blocks[..10] {
+            alloc.place_hot(b);
+        }
+        alloc.fill_cold(blocks[10..].iter().copied());
+        let l = alloc.finish().unwrap();
+        assert_eq!(l.addr(blocks[0]), 0);
+        // Dense: each block 24 bytes, no fall-through, no stretch.
+        assert_eq!(l.addr(blocks[1]), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the cache")]
+    fn oversized_scf_rejected() {
+        let (p, _) = flat_program(4);
+        let _ = LogicalCacheAllocator::new(&p, "t", 256, 256);
+    }
+}

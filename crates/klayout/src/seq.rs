@@ -1,0 +1,418 @@
+//! Sequence construction (Section 4.1).
+//!
+//! A *sequence* is a chain of basic blocks, possibly spanning tens of
+//! routines, that the kernel executes nearly deterministically — e.g. the
+//! common path of page-fault handling. Sequences are grown greedily from
+//! the four seeds under a pair of thresholds:
+//!
+//! * `ExecThresh` — a block qualifies only if its execution count is at
+//!   least this fraction of all block executions;
+//! * `BranchThresh` — an arc is followed only if its measured probability
+//!   (arc weight over source weight) is at least this value.
+//!
+//! The algorithm repeatedly lowers the thresholds (the paper's Table 4
+//! schedule), capturing code in segments of decreasing popularity, so that
+//! popular sequences are placed next to other equally popular ones and
+//! cannot conflict with them. When a growth step has no acceptable
+//! successor, the walk restarts "from the seed": the heaviest arc from any
+//! block already captured for this seed into fresh acceptable code.
+
+use oslay_model::{BlockId, Program, SeedKind};
+use oslay_profile::Profile;
+
+/// One pass of the threshold schedule.
+#[derive(Copy, Clone, Debug)]
+pub struct ThresholdPass {
+    /// Minimum execution-count fraction for a block to be captured.
+    pub exec: f64,
+    /// Per-seed branch threshold; `None` = this seed does not participate
+    /// in this pass yet (Table 4 staggers the seeds).
+    pub branch: [Option<f64>; 4],
+}
+
+/// A full descending threshold schedule.
+#[derive(Clone, Debug)]
+pub struct ThresholdSchedule {
+    /// Passes, applied in order.
+    pub passes: Vec<ThresholdPass>,
+}
+
+impl ThresholdSchedule {
+    /// The Table 4 schedule: six passes of descending `ExecThresh`, with
+    /// each seed's `BranchThresh` starting at 40% one pass after the
+    /// previous seed and descending a decade per pass.
+    ///
+    /// The paper picks its first `ExecThresh` (1.4%) "somewhat
+    /// arbitrarily" such that the passes yield reasonably-sized (1–4 KB)
+    /// sequences on *its* kernel's block-weight distribution. The
+    /// synthetic kernel's distribution is slightly flatter (its hottest
+    /// block holds ≈ 3% of the weight vs the paper's ≈ 5%), so the exec
+    /// levels here are shifted down to satisfy the same sizing criterion;
+    /// the staggering and the branch thresholds are the paper's.
+    #[must_use]
+    pub fn paper() -> Self {
+        let b = |i: Option<f64>, p: Option<f64>, s: Option<f64>, o: Option<f64>| [i, p, s, o];
+        Self {
+            passes: vec![
+                ThresholdPass {
+                    exec: 0.003,
+                    branch: b(Some(0.4), None, None, None),
+                },
+                ThresholdPass {
+                    exec: 0.001,
+                    branch: b(Some(0.1), Some(0.4), None, None),
+                },
+                ThresholdPass {
+                    exec: 0.0003,
+                    branch: b(Some(0.01), Some(0.1), Some(0.4), None),
+                },
+                ThresholdPass {
+                    exec: 0.0001,
+                    branch: b(Some(0.01), Some(0.01), Some(0.1), Some(0.4)),
+                },
+                ThresholdPass {
+                    exec: 1e-7,
+                    branch: b(Some(0.001), Some(0.01), Some(0.01), Some(0.1)),
+                },
+                ThresholdPass {
+                    exec: 0.0,
+                    branch: b(Some(0.0), Some(0.0), Some(0.0), Some(0.0)),
+                },
+            ],
+        }
+    }
+
+    /// A single pass with uniform thresholds for every seed (used by the
+    /// Table 2 characterization of core/regular sequences).
+    #[must_use]
+    pub fn single_pass(exec: f64, branch: f64) -> Self {
+        Self {
+            passes: vec![ThresholdPass {
+                exec,
+                branch: [Some(branch); 4],
+            }],
+        }
+    }
+
+    /// The `ExecThresh` of the pass below which blocks count as
+    /// "OtherSeq" rather than "MainSeq" in the paper's Figure 13
+    /// (0.01% = 1e-4).
+    pub const MAIN_SEQ_EXEC_THRESH: f64 = 1e-4;
+}
+
+impl Default for ThresholdSchedule {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One constructed sequence.
+#[derive(Clone, Debug)]
+pub struct Sequence {
+    /// The seed this sequence grew from.
+    pub seed: SeedKind,
+    /// Index of the schedule pass that produced it.
+    pub pass: usize,
+    /// The pass's `ExecThresh`.
+    pub exec_thresh: f64,
+    /// Captured blocks, in placement order.
+    pub blocks: Vec<BlockId>,
+    /// Total raw size of the captured blocks in bytes.
+    pub bytes: u64,
+}
+
+/// All sequences of a program, in placement (hotness) order.
+#[derive(Clone, Debug)]
+pub struct SequenceSet {
+    sequences: Vec<Sequence>,
+    captured: Vec<bool>,
+}
+
+impl SequenceSet {
+    /// Sequences in placement order.
+    #[must_use]
+    pub fn sequences(&self) -> &[Sequence] {
+        &self.sequences
+    }
+
+    /// True if a block was captured by any sequence.
+    #[must_use]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.captured[block.index()]
+    }
+
+    /// Number of captured blocks.
+    #[must_use]
+    pub fn num_captured(&self) -> usize {
+        self.captured.iter().filter(|&&c| c).count()
+    }
+
+    /// Iterates `(sequence index, block)` in placement order.
+    pub fn blocks_in_order(&self) -> impl Iterator<Item = (usize, BlockId)> + '_ {
+        self.sequences
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.blocks.iter().map(move |&b| (i, b)))
+    }
+}
+
+/// Grows sequences from the seeds of an OS program (or from `main` for an
+/// application — pass the entry block as every "seed").
+///
+/// Only measured data is used: a block is acceptable if it executed, meets
+/// the pass's `ExecThresh`, and is not yet captured; growth follows the
+/// heaviest acceptable arc meeting `BranchThresh`.
+#[must_use]
+pub fn build_sequences(
+    program: &Program,
+    profile: &Profile,
+    schedule: &ThresholdSchedule,
+) -> SequenceSet {
+    let seed_blocks: [Option<BlockId>; 4] = match program.domain() {
+        oslay_model::Domain::Os => {
+            let mut s = [None; 4];
+            for kind in SeedKind::ALL {
+                s[kind.index()] = program.seed_block(kind);
+            }
+            s
+        }
+        oslay_model::Domain::App => {
+            // Applications have a single seed: main's entry. Attribute it
+            // to the Other class slot; the remaining slots stay empty.
+            let entry = program
+                .entry()
+                .map(|r| program.routine(r).entry());
+            [entry, None, None, None]
+        }
+    };
+
+    let mut captured = vec![false; program.num_blocks()];
+    // Per-seed region: blocks captured for that seed, used for restarts.
+    let mut regions: [Vec<BlockId>; 4] = Default::default();
+    let mut sequences = Vec::new();
+
+    for (pass_idx, pass) in schedule.passes.iter().enumerate() {
+        for kind_idx in 0..4 {
+            let Some(branch_thresh) = pass.branch[kind_idx] else {
+                continue;
+            };
+            let Some(seed_block) = seed_blocks[kind_idx] else {
+                continue;
+            };
+            loop {
+                let start = find_start(
+                    profile,
+                    &captured,
+                    &regions[kind_idx],
+                    seed_block,
+                    pass.exec,
+                    branch_thresh,
+                );
+                let Some(start) = start else {
+                    break;
+                };
+                let mut seq = Sequence {
+                    seed: SeedKind::from_index(kind_idx),
+                    pass: pass_idx,
+                    exec_thresh: pass.exec,
+                    blocks: Vec::new(),
+                    bytes: 0,
+                };
+                let mut cur = start;
+                loop {
+                    captured[cur.index()] = true;
+                    regions[kind_idx].push(cur);
+                    seq.blocks.push(cur);
+                    seq.bytes += u64::from(program.block(cur).size());
+                    // Follow the heaviest acceptable arc.
+                    let next = profile
+                        .out_arcs(cur)
+                        .iter()
+                        .find(|&&(dst, w)| {
+                            w > 0
+                                && !captured[dst.index()]
+                                && profile.exec_ratio(dst) >= pass.exec
+                                && profile.arc_prob(cur, dst) >= branch_thresh
+                        })
+                        .map(|&(dst, _)| dst);
+                    match next {
+                        Some(n) => cur = n,
+                        None => break,
+                    }
+                }
+                sequences.push(seq);
+            }
+        }
+    }
+
+    SequenceSet {
+        sequences,
+        captured,
+    }
+}
+
+/// Finds where the next sequence of this pass starts: the seed itself if
+/// still fresh, otherwise the heaviest arc out of the seed's region into
+/// fresh acceptable code.
+fn find_start(
+    profile: &Profile,
+    captured: &[bool],
+    region: &[BlockId],
+    seed_block: BlockId,
+    exec_thresh: f64,
+    branch_thresh: f64,
+) -> Option<BlockId> {
+    if !captured[seed_block.index()]
+        && profile.node_weight(seed_block) > 0
+        && profile.exec_ratio(seed_block) >= exec_thresh
+    {
+        return Some(seed_block);
+    }
+    let mut best: Option<(u64, BlockId)> = None;
+    for &src in region {
+        for &(dst, w) in profile.out_arcs(src) {
+            if w == 0 || captured[dst.index()] {
+                continue;
+            }
+            if profile.exec_ratio(dst) < exec_thresh {
+                continue;
+            }
+            if profile.arc_prob(src, dst) < branch_thresh {
+                continue;
+            }
+            if best.is_none_or(|(bw, bb)| w > bw || (w == bw && dst < bb)) {
+                best = Some((w, dst));
+            }
+        }
+    }
+    best.map(|(_, b)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+    use oslay_trace::{standard_workloads, Engine, EngineConfig};
+
+    fn setup() -> (Program, Profile) {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 55));
+        let specs = standard_workloads(&k.tables);
+        let t = Engine::new(&k.program, None, &specs[3], EngineConfig::new(6)).run(60_000);
+        let p = Profile::collect(&k.program, &t);
+        (k.program, p)
+    }
+
+    #[test]
+    fn final_pass_captures_all_executed_blocks() {
+        let (program, profile) = setup();
+        let seqs = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        for b in profile.executed_blocks() {
+            assert!(seqs.contains(b), "executed block {b} not captured");
+        }
+    }
+
+    #[test]
+    fn no_block_captured_twice() {
+        let (program, profile) = setup();
+        let seqs = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        let mut seen = vec![false; program.num_blocks()];
+        for (_, b) in seqs.blocks_in_order() {
+            assert!(!seen[b.index()], "block {b} captured twice");
+            seen[b.index()] = true;
+        }
+        assert_eq!(
+            seqs.num_captured(),
+            seqs.blocks_in_order().count(),
+            "captured flags match placement list"
+        );
+    }
+
+    #[test]
+    fn unexecuted_blocks_are_never_captured() {
+        let (program, profile) = setup();
+        let seqs = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        for (id, _) in program.blocks() {
+            if profile.node_weight(id) == 0 {
+                assert!(!seqs.contains(id), "cold block {id} captured");
+            }
+        }
+    }
+
+    #[test]
+    fn early_passes_capture_hotter_blocks() {
+        let (program, profile) = setup();
+        let seqs = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        let _ = program;
+        // Mean exec ratio of pass-0 blocks should exceed that of the final
+        // pass's blocks.
+        let mean_ratio = |pass: usize| {
+            let blocks: Vec<BlockId> = seqs
+                .sequences()
+                .iter()
+                .filter(|s| s.pass == pass)
+                .flat_map(|s| s.blocks.iter().copied())
+                .collect();
+            if blocks.is_empty() {
+                return None;
+            }
+            Some(
+                blocks.iter().map(|&b| profile.exec_ratio(b)).sum::<f64>()
+                    / blocks.len() as f64,
+            )
+        };
+        let first = (0..schedule_len())
+            .find_map(mean_ratio)
+            .expect("some pass captured blocks");
+        let last = (0..schedule_len()).rev().find_map(mean_ratio).unwrap();
+        assert!(
+            first >= last,
+            "first non-empty pass mean {first} < last pass mean {last}"
+        );
+    }
+
+    fn schedule_len() -> usize {
+        ThresholdSchedule::paper().passes.len()
+    }
+
+    #[test]
+    fn sequences_respect_exec_threshold() {
+        let (program, profile) = setup();
+        let _ = program;
+        let seqs = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        for s in seqs.sequences() {
+            for &b in &s.blocks {
+                assert!(
+                    profile.exec_ratio(b) >= s.exec_thresh,
+                    "block {b} below its pass threshold"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_pass_produces_core_like_subset() {
+        let (program, profile) = setup();
+        let core = build_sequences(
+            &program,
+            &profile,
+            &ThresholdSchedule::single_pass(0.001, 0.3),
+        );
+        let all = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        assert!(core.num_captured() > 0);
+        assert!(core.num_captured() < all.num_captured());
+    }
+
+    #[test]
+    fn sequence_bytes_match_blocks() {
+        let (program, profile) = setup();
+        let seqs = build_sequences(&program, &profile, &ThresholdSchedule::paper());
+        for s in seqs.sequences() {
+            let bytes: u64 = s
+                .blocks
+                .iter()
+                .map(|&b| u64::from(program.block(b).size()))
+                .sum();
+            assert_eq!(bytes, s.bytes);
+        }
+    }
+}

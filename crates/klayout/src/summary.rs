@@ -1,0 +1,139 @@
+//! Region-level summaries of optimized layouts (the paper's Figure 10).
+//!
+//! Figure 10 is a diagram: SelfConfFree area at the bottom of logical
+//! cache 0, sequences above it skipping the other logical caches' windows,
+//! the loop area at the end of the sequences, seldom-executed code in the
+//! windows and the tail. [`layout_regions`] recovers that diagram from an
+//! actual [`OptLayout`] by merging address-consecutive blocks of the same
+//! placement class, so the figure can be *printed from the data* rather
+//! than drawn.
+
+use oslay_model::{BlockId, Program};
+
+use crate::{BlockClass, OptLayout};
+
+/// One contiguous region of same-class code in a layout.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionSummary {
+    /// Placement class of every block in the region.
+    pub class: BlockClass,
+    /// First byte of the region.
+    pub start: u64,
+    /// One past the last byte of the region's last block.
+    pub end: u64,
+    /// Number of blocks.
+    pub blocks: usize,
+}
+
+impl RegionSummary {
+    /// Region size in bytes (including internal padding).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Decomposes an optimized layout into address-ordered regions of
+/// constant placement class.
+#[must_use]
+pub fn layout_regions(program: &Program, opt: &OptLayout) -> Vec<RegionSummary> {
+    let mut blocks: Vec<BlockId> = (0..program.num_blocks()).map(BlockId::new).collect();
+    blocks.sort_by_key(|&b| opt.layout.addr(b));
+
+    let mut regions: Vec<RegionSummary> = Vec::new();
+    for b in blocks {
+        let class = opt.class(b);
+        let start = opt.layout.addr(b);
+        let end = start + u64::from(opt.layout.effective_size(b));
+        match regions.last_mut() {
+            Some(last) if last.class == class => {
+                last.end = end;
+                last.blocks += 1;
+            }
+            _ => regions.push(RegionSummary {
+                class,
+                start,
+                end,
+                blocks: 1,
+            }),
+        }
+    }
+    regions
+}
+
+/// Renders the region list as a memory-map table (low addresses first),
+/// collapsing regions smaller than `min_bytes` into their neighbours'
+/// rows is left to the caller; every region is printed.
+#[must_use]
+pub fn render_regions(regions: &[RegionSummary]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10}  {:>10}  {:>8}  {:>6}  class", "start", "end", "bytes", "blocks");
+    for r in regions {
+        let _ = writeln!(
+            out,
+            "{:>#10x}  {:>#10x}  {:>8}  {:>6}  {}",
+            r.start,
+            r.end,
+            r.bytes(),
+            r.blocks,
+            r.class.label()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize_os, OptParams};
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+    use oslay_profile::{LoopAnalysis, Profile};
+    use oslay_trace::{standard_workloads, Engine, EngineConfig};
+
+    fn opt() -> (oslay_model::Program, OptLayout) {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 9));
+        let specs = standard_workloads(&k.tables);
+        let t = Engine::new(&k.program, None, &specs[3], EngineConfig::new(3)).run(40_000);
+        let p = Profile::collect(&k.program, &t);
+        let la = LoopAnalysis::analyze(&k.program, &p);
+        let opt = optimize_os(&k.program, &p, &la, &OptParams::opt_l(4096));
+        (k.program, opt)
+    }
+
+    #[test]
+    fn regions_cover_all_blocks_in_order() {
+        let (program, opt) = opt();
+        let regions = layout_regions(&program, &opt);
+        let total: usize = regions.iter().map(|r| r.blocks).sum();
+        assert_eq!(total, program.num_blocks());
+        for pair in regions.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "regions out of order");
+            assert_ne!(pair[0].class, pair[1].class, "unmerged neighbours");
+        }
+    }
+
+    #[test]
+    fn figure_10_structure_is_present() {
+        let (program, opt) = opt();
+        let regions = layout_regions(&program, &opt);
+        // The first region is the SelfConfFree area at address 0.
+        assert_eq!(regions[0].class, BlockClass::SelfConfFree);
+        assert_eq!(regions[0].start, 0);
+        // Sequences follow; a loop area exists (OptL); cold code is
+        // interleaved (SCF windows) and dominates the tail.
+        assert!(regions.iter().any(|r| r.class == BlockClass::MainSeq));
+        assert!(regions.iter().any(|r| r.class == BlockClass::Loop));
+        assert_eq!(regions.last().unwrap().class, BlockClass::Cold);
+        let _ = program;
+    }
+
+    #[test]
+    fn render_lists_every_region() {
+        let (program, opt) = opt();
+        let regions = layout_regions(&program, &opt);
+        let text = render_regions(&regions);
+        assert_eq!(text.lines().count(), regions.len() + 1);
+        assert!(text.contains("SelfConfFree"));
+    }
+}

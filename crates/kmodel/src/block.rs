@@ -1,0 +1,225 @@
+//! Basic blocks and their terminators.
+
+use crate::{BlockId, DispatchId, RoutineId};
+
+/// One outgoing edge of a probabilistic branch.
+#[derive(Copy, Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BranchTarget {
+    /// Destination block (must belong to the same routine).
+    pub dst: BlockId,
+    /// Ground-truth probability that execution follows this edge.
+    ///
+    /// These probabilities drive the stochastic trace engine only; the
+    /// profiler and the layout algorithms never see them — they work from
+    /// *measured* arc counts, exactly as the paper's tooling works from
+    /// hardware traces.
+    pub prob: f64,
+}
+
+impl BranchTarget {
+    /// Creates a branch target with the given probability.
+    #[must_use]
+    pub fn new(dst: BlockId, prob: f64) -> Self {
+        Self { dst, prob }
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Terminator {
+    /// Unconditional transfer to another block of the same routine.
+    Jump(BlockId),
+    /// Probabilistic multi-way branch (conditional branches, including loop
+    /// back-edges). Probabilities must be positive and sum to 1.
+    Branch(Vec<BranchTarget>),
+    /// A multi-way dispatch whose successor distribution is supplied *by the
+    /// workload* at trace time (e.g. the system-call dispatch table: which
+    /// service gets called depends on what the workload does, not on the
+    /// kernel's code).
+    Dispatch {
+        /// Identifies the workload-supplied weight table.
+        table: DispatchId,
+        /// Candidate successors, in table order.
+        targets: Vec<BlockId>,
+    },
+    /// Procedure call: control enters `callee`'s entry block and, when the
+    /// callee executes a [`Terminator::Return`], resumes at `ret_to` in this
+    /// routine.
+    Call {
+        /// The routine being called.
+        callee: RoutineId,
+        /// Continuation block in the calling routine.
+        ret_to: BlockId,
+    },
+    /// Return from the current routine (or, at the bottom of the call stack,
+    /// the end of an operating-system invocation / application burst).
+    Return,
+}
+
+impl Terminator {
+    /// Convenience constructor for [`Terminator::Branch`].
+    pub fn branch(targets: impl IntoIterator<Item = BranchTarget>) -> Self {
+        Terminator::Branch(targets.into_iter().collect())
+    }
+
+    /// Intra-routine successor blocks, in declaration order.
+    ///
+    /// For a [`Terminator::Call`] this is the continuation block: the callee
+    /// is *not* an intra-routine successor. This is the edge set used for
+    /// dominator and natural-loop analysis, which the paper performs per
+    /// routine ("we use dataflow analysis", citing Aho, Sethi & Ullman).
+    pub fn intra_successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let slice: SuccessorIter<'_> = match self {
+            Terminator::Jump(dst) => SuccessorIter::One(Some(*dst)),
+            Terminator::Branch(targets) => SuccessorIter::Branch(targets.iter()),
+            Terminator::Dispatch { targets, .. } => SuccessorIter::Blocks(targets.iter()),
+            Terminator::Call { ret_to, .. } => SuccessorIter::One(Some(*ret_to)),
+            Terminator::Return => SuccessorIter::One(None),
+        };
+        slice
+    }
+
+    /// The callee routine, if this is a call.
+    #[must_use]
+    pub fn callee(&self) -> Option<RoutineId> {
+        match self {
+            Terminator::Call { callee, .. } => Some(*callee),
+            _ => None,
+        }
+    }
+
+    /// True if this terminator ends the routine.
+    #[must_use]
+    pub fn is_return(&self) -> bool {
+        matches!(self, Terminator::Return)
+    }
+}
+
+enum SuccessorIter<'a> {
+    One(Option<BlockId>),
+    Branch(std::slice::Iter<'a, BranchTarget>),
+    Blocks(std::slice::Iter<'a, BlockId>),
+}
+
+impl Iterator for SuccessorIter<'_> {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        match self {
+            SuccessorIter::One(slot) => slot.take(),
+            SuccessorIter::Branch(it) => it.next().map(|t| t.dst),
+            SuccessorIter::Blocks(it) => it.next().copied(),
+        }
+    }
+}
+
+/// A basic block: a straight-line run of instructions with a single entry
+/// and a single terminator.
+///
+/// Blocks are positionless; the layout algorithms assign addresses. The
+/// average block in the paper's kernel is 21.3 bytes (Section 3.2.1), and
+/// the synthetic generator reproduces that scale.
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BasicBlock {
+    routine: RoutineId,
+    size: u32,
+    terminator: Terminator,
+    fallthrough: Option<BlockId>,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(
+        routine: RoutineId,
+        size: u32,
+        terminator: Terminator,
+        fallthrough: Option<BlockId>,
+    ) -> Self {
+        Self {
+            routine,
+            size,
+            terminator,
+            fallthrough,
+        }
+    }
+
+    /// The routine this block belongs to.
+    #[must_use]
+    pub fn routine(&self) -> RoutineId {
+        self.routine
+    }
+
+    /// Block size in bytes (excluding any layout-added stretch branches).
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// How control leaves this block.
+    #[must_use]
+    pub fn terminator(&self) -> &Terminator {
+        &self.terminator
+    }
+
+    /// The block that followed this one in the *original* code order, if the
+    /// original code could fall through to it without a branch.
+    ///
+    /// Layout algorithms that separate a block from its natural fall-through
+    /// successor must insert an unconditional branch; `oslay-layout` charges
+    /// one extra instruction word for that (the paper measures the resulting
+    /// dynamic code growth at about 2%, Section 4.3).
+    #[must_use]
+    pub fn fallthrough(&self) -> Option<BlockId> {
+        self.fallthrough
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: usize) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn jump_has_single_successor() {
+        let t = Terminator::Jump(b(3));
+        assert_eq!(t.intra_successors().collect::<Vec<_>>(), vec![b(3)]);
+        assert_eq!(t.callee(), None);
+        assert!(!t.is_return());
+    }
+
+    #[test]
+    fn branch_successors_in_order() {
+        let t = Terminator::branch([BranchTarget::new(b(1), 0.9), BranchTarget::new(b(2), 0.1)]);
+        assert_eq!(t.intra_successors().collect::<Vec<_>>(), vec![b(1), b(2)]);
+    }
+
+    #[test]
+    fn call_successor_is_continuation_not_callee() {
+        let t = Terminator::Call {
+            callee: RoutineId::new(5),
+            ret_to: b(7),
+        };
+        assert_eq!(t.intra_successors().collect::<Vec<_>>(), vec![b(7)]);
+        assert_eq!(t.callee(), Some(RoutineId::new(5)));
+    }
+
+    #[test]
+    fn return_has_no_successors() {
+        assert_eq!(Terminator::Return.intra_successors().count(), 0);
+        assert!(Terminator::Return.is_return());
+    }
+
+    #[test]
+    fn dispatch_lists_all_targets() {
+        let t = Terminator::Dispatch {
+            table: DispatchId::new(0),
+            targets: vec![b(1), b(2), b(3)],
+        };
+        assert_eq!(t.intra_successors().count(), 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! Incremental construction of [`Program`]s.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    BasicBlock, BlockId, DispatchId, Domain, ModelError, Program, Routine, RoutineId, SeedKind,
+    Terminator,
+};
+
+/// Builds a [`Program`] routine by routine.
+///
+/// Blocks are created inside a `begin_routine` / `end_routine` bracket with
+/// [`ProgramBuilder::add_block`], then wired with
+/// [`ProgramBuilder::terminate`] (forward references are fine: a block may be
+/// terminated after its targets are created, and terminators may be installed
+/// for blocks of already-finished routines, which is how call edges are
+/// usually wired). [`ProgramBuilder::build`] validates the whole program.
+///
+/// Consecutively created blocks are assumed to *fall through* in the original
+/// source order; this natural adjacency is what layout algorithms must pay a
+/// branch for when they break it. Use [`ProgramBuilder::add_block_no_fallthrough`]
+/// for blocks that the original code already reached only via explicit jumps.
+///
+/// # Example
+///
+/// See the crate-level documentation.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    domain: Domain,
+    blocks: Vec<PendingBlock>,
+    routines: Vec<Routine>,
+    seeds: BTreeMap<SeedKind, RoutineId>,
+    entry: Option<RoutineId>,
+    open: Option<OpenRoutine>,
+    next_dispatch: usize,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    routine: RoutineId,
+    size: u32,
+    terminator: Option<Terminator>,
+    fallthrough: Option<BlockId>,
+}
+
+#[derive(Debug)]
+struct OpenRoutine {
+    id: RoutineId,
+    name: String,
+    blocks: Vec<BlockId>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program in the given domain.
+    #[must_use]
+    pub fn new(domain: Domain) -> Self {
+        Self {
+            domain,
+            blocks: Vec::new(),
+            routines: Vec::new(),
+            seeds: BTreeMap::new(),
+            entry: None,
+            open: None,
+            next_dispatch: 0,
+        }
+    }
+
+    /// Starts a new routine and returns its id.
+    ///
+    /// The first block added becomes the routine's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a routine is already open.
+    pub fn begin_routine(&mut self, name: impl Into<String>) -> RoutineId {
+        assert!(self.open.is_none(), "previous routine not ended");
+        let id = RoutineId::new(self.routines.len());
+        self.open = Some(OpenRoutine {
+            id,
+            name: name.into(),
+            blocks: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a block of `size` bytes to the open routine and returns its id.
+    ///
+    /// The previously added block of this routine is recorded as naturally
+    /// falling through to this one (unless it was added with
+    /// [`Self::add_block_no_fallthrough`] semantics broken by an intervening
+    /// routine end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no routine is open or `size == 0`.
+    pub fn add_block(&mut self, size: u32) -> BlockId {
+        self.add_block_inner(size, true)
+    }
+
+    /// Adds a block that the original code did *not* fall through to (it was
+    /// reached only by explicit branches, e.g. an out-of-line error handler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no routine is open or `size == 0`.
+    pub fn add_block_no_fallthrough(&mut self, size: u32) -> BlockId {
+        self.add_block_inner(size, false)
+    }
+
+    fn add_block_inner(&mut self, size: u32, fallthrough: bool) -> BlockId {
+        assert!(size > 0, "blocks must have positive size");
+        let open = self.open.as_mut().expect("no open routine");
+        let id = BlockId::new(self.blocks.len());
+        if fallthrough {
+            if let Some(&prev) = open.blocks.last() {
+                let prev_block = &mut self.blocks[prev.index()];
+                prev_block.fallthrough = Some(id);
+            }
+        }
+        self.blocks.push(PendingBlock {
+            routine: open.id,
+            size,
+            terminator: None,
+            fallthrough: None,
+        });
+        open.blocks.push(id);
+        id
+    }
+
+    /// Installs (or replaces) the terminator of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was never created.
+    pub fn terminate(&mut self, block: BlockId, terminator: Terminator) {
+        self.blocks[block.index()].terminator = Some(terminator);
+    }
+
+    /// Finishes the open routine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no routine is open.
+    pub fn end_routine(&mut self) {
+        let open = self.open.take().expect("no open routine");
+        let entry = open.blocks.first().copied().unwrap_or_default();
+        self.routines
+            .push(Routine::new(open.id, open.name, entry, open.blocks));
+    }
+
+    /// Registers `routine` as the seed for an OS entry class.
+    pub fn set_seed(&mut self, kind: SeedKind, routine: RoutineId) {
+        self.seeds.insert(kind, routine);
+    }
+
+    /// Registers the application `main` routine.
+    pub fn set_entry(&mut self, routine: RoutineId) {
+        self.entry = Some(routine);
+    }
+
+    /// Allocates a fresh workload-controlled dispatch table id.
+    pub fn new_dispatch_table(&mut self) -> DispatchId {
+        let id = DispatchId::new(self.next_dispatch);
+        self.next_dispatch += 1;
+        id
+    }
+
+    /// Number of blocks created so far.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Validates and finishes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if a routine is still open, any block lacks a
+    /// terminator, or the program violates a structural invariant (see
+    /// [`ModelError`] variants).
+    pub fn build(self) -> Result<Program, ModelError> {
+        if self.open.is_some() {
+            return Err(ModelError::UnfinishedRoutine);
+        }
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, pending) in self.blocks.into_iter().enumerate() {
+            let terminator = pending
+                .terminator
+                .ok_or(ModelError::MissingTerminator(BlockId::new(i)))?;
+            blocks.push(BasicBlock::new(
+                pending.routine,
+                pending.size,
+                terminator,
+                pending.fallthrough,
+            ));
+        }
+        Program::from_parts(
+            self.domain,
+            blocks,
+            self.routines,
+            self.seeds,
+            self.entry,
+            self.next_dispatch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BranchTarget;
+
+    #[test]
+    fn fallthrough_links_consecutive_blocks() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let r = b.begin_routine("main");
+        let x = b.add_block(8);
+        let y = b.add_block(8);
+        let z = b.add_block_no_fallthrough(8);
+        b.terminate(x, Terminator::Jump(y));
+        b.terminate(y, Terminator::Jump(z));
+        b.terminate(z, Terminator::Return);
+        b.end_routine();
+        b.set_entry(r);
+        let p = b.build().unwrap();
+        assert_eq!(p.block(x).fallthrough(), Some(y));
+        // z was added as no-fallthrough, so y has no natural successor.
+        assert_eq!(p.block(y).fallthrough(), None);
+        assert_eq!(p.block(z).fallthrough(), None);
+    }
+
+    #[test]
+    fn missing_terminator_is_reported() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let r = b.begin_routine("main");
+        let x = b.add_block(8);
+        b.end_routine();
+        b.set_entry(r);
+        assert_eq!(b.build().unwrap_err(), ModelError::MissingTerminator(x));
+    }
+
+    #[test]
+    fn unfinished_routine_is_reported() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let _r = b.begin_routine("main");
+        let x = b.add_block(8);
+        b.terminate(x, Terminator::Return);
+        assert_eq!(b.build().unwrap_err(), ModelError::UnfinishedRoutine);
+    }
+
+    #[test]
+    fn dispatch_tables_are_dense() {
+        let mut b = ProgramBuilder::new(Domain::Os);
+        let d0 = b.new_dispatch_table();
+        let d1 = b.new_dispatch_table();
+        assert_eq!(d0.index(), 0);
+        assert_eq!(d1.index(), 1);
+    }
+
+    #[test]
+    fn forward_call_edges_can_be_wired_late() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let main = b.begin_routine("main");
+        let e = b.add_block(8);
+        let cont = b.add_block(8);
+        b.terminate(cont, Terminator::Return);
+        b.end_routine();
+        let helper = b.begin_routine("helper");
+        let h = b.add_block(12);
+        b.terminate(h, Terminator::Return);
+        b.end_routine();
+        // Wire the call after `helper` exists.
+        b.terminate(
+            e,
+            Terminator::Call {
+                callee: helper,
+                ret_to: cont,
+            },
+        );
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        assert_eq!(p.block(e).terminator().callee(), Some(helper));
+        assert_eq!(p.routine(main).entry(), e);
+    }
+
+    #[test]
+    fn branch_probabilities_validated_on_build() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let r = b.begin_routine("main");
+        let e = b.add_block(8);
+        let t = b.add_block(8);
+        b.terminate(
+            e,
+            Terminator::branch([BranchTarget::new(t, 0.7), BranchTarget::new(t, 0.3)]),
+        );
+        b.terminate(t, Terminator::Return);
+        b.end_routine();
+        b.set_entry(r);
+        assert!(b.build().is_ok());
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for program construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{BlockId, RoutineId, SeedKind};
+
+/// Reasons a [`crate::Program`] failed to validate.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A block was left without a terminator.
+    MissingTerminator(BlockId),
+    /// A terminator targets a block outside its own routine.
+    CrossRoutineEdge {
+        /// The offending block.
+        src: BlockId,
+        /// The out-of-routine target.
+        dst: BlockId,
+    },
+    /// A terminator references a block id past the end of the block table.
+    DanglingBlock {
+        /// The offending block.
+        src: BlockId,
+        /// The nonexistent target.
+        dst: BlockId,
+    },
+    /// A call references a routine id past the end of the routine table.
+    DanglingCallee {
+        /// The calling block.
+        src: BlockId,
+        /// The nonexistent callee.
+        callee: RoutineId,
+    },
+    /// Branch probabilities are not positive or do not sum to 1.
+    BadProbabilities {
+        /// The offending block.
+        src: BlockId,
+        /// The probability sum that was found.
+        sum: f64,
+    },
+    /// A branch or dispatch has no targets.
+    EmptyTargets(BlockId),
+    /// A basic block has zero size.
+    ZeroSizeBlock(BlockId),
+    /// A routine has no blocks.
+    EmptyRoutine(RoutineId),
+    /// Two routines share a name.
+    DuplicateRoutineName(String),
+    /// An OS program is missing one of the four seed routines.
+    MissingSeed(SeedKind),
+    /// A seed points at a routine id past the end of the routine table.
+    DanglingSeed(SeedKind, RoutineId),
+    /// `begin_routine`/`end_routine` were not balanced.
+    UnfinishedRoutine,
+    /// A builder method was called outside `begin_routine`/`end_routine`.
+    NoOpenRoutine,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            ModelError::CrossRoutineEdge { src, dst } => {
+                write!(f, "block {src} branches to {dst} in a different routine")
+            }
+            ModelError::DanglingBlock { src, dst } => {
+                write!(f, "block {src} targets nonexistent block {dst}")
+            }
+            ModelError::DanglingCallee { src, callee } => {
+                write!(f, "block {src} calls nonexistent routine {callee}")
+            }
+            ModelError::BadProbabilities { src, sum } => {
+                write!(f, "branch probabilities of block {src} sum to {sum}, not 1")
+            }
+            ModelError::EmptyTargets(b) => write!(f, "block {b} branches to an empty target list"),
+            ModelError::ZeroSizeBlock(b) => write!(f, "block {b} has zero size"),
+            ModelError::EmptyRoutine(r) => write!(f, "routine {r} has no blocks"),
+            ModelError::DuplicateRoutineName(name) => {
+                write!(f, "duplicate routine name {name:?}")
+            }
+            ModelError::MissingSeed(kind) => write!(f, "program has no {kind} seed"),
+            ModelError::DanglingSeed(kind, r) => {
+                write!(f, "{kind} seed references nonexistent routine {r}")
+            }
+            ModelError::UnfinishedRoutine => {
+                write!(f, "build called while a routine is still open")
+            }
+            ModelError::NoOpenRoutine => {
+                write!(f, "builder method requires an open routine")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_style() {
+        let e = ModelError::ZeroSizeBlock(BlockId::new(3));
+        let msg = e.to_string();
+        assert!(msg.contains("b3"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,114 @@
+//! Program model for the `oslay` reproduction of Torrellas, Xia & Daigle,
+//! *"Optimizing Instruction Cache Performance for Operating System Intensive
+//! Workloads"* (HPCA 1995).
+//!
+//! This crate provides:
+//!
+//! * a layout-independent **program representation** — routines made of basic
+//!   blocks connected by a probabilistic control-flow graph ([`Program`],
+//!   [`BasicBlock`], [`Terminator`]) — shared by the operating-system kernel
+//!   model and the application models;
+//! * a [`ProgramBuilder`] for constructing programs by hand (the public API a
+//!   downstream user would target to lay out *their own* code);
+//! * **synthetic generators** ([`synth`]) that produce a kernel and a set of
+//!   applications whose measured statistics match the paper's
+//!   characterization study (Section 3). These stand in for the proprietary
+//!   Alliant FX/8 / Concentrix 3.0 traces that the original work measured
+//!   with a hardware performance monitor; see `DESIGN.md` at the repository
+//!   root for the substitution argument.
+//!
+//! The representation is deliberately *positionless*: a [`BasicBlock`] has a
+//! size in bytes but no address. Addresses are assigned later by the layout
+//! algorithms in `oslay-layout`, which is exactly the degree of freedom the
+//! paper's optimization exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use oslay_model::{ProgramBuilder, Domain, Terminator, BranchTarget, SeedKind};
+//!
+//! let mut b = ProgramBuilder::new(Domain::Os);
+//! let tick = b.begin_routine("clock_tick");
+//! let entry = b.add_block(24);
+//! let fast = b.add_block(16);
+//! let slow = b.add_block(40);
+//! let done = b.add_block(8);
+//! b.terminate(entry, Terminator::branch([
+//!     BranchTarget::new(fast, 0.99),
+//!     BranchTarget::new(slow, 0.01),
+//! ]));
+//! b.terminate(fast, Terminator::Jump(done));
+//! b.terminate(slow, Terminator::Jump(done));
+//! b.terminate(done, Terminator::Return);
+//! b.end_routine();
+//! // An OS program needs all four seed entry points; a real kernel would
+//! // register a distinct routine for each.
+//! for kind in SeedKind::ALL {
+//!     b.set_seed(kind, tick);
+//! }
+//! let program = b.build()?;
+//! assert_eq!(program.num_blocks(), 4);
+//! # Ok::<(), oslay_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod block;
+mod builder;
+mod error;
+mod ids;
+mod program;
+mod routine;
+mod seed;
+mod stats;
+pub mod synth;
+pub mod transform;
+
+pub use block::{BasicBlock, BranchTarget, Terminator};
+pub use builder::ProgramBuilder;
+pub use error::ModelError;
+pub use ids::{BlockId, DispatchId, RoutineId};
+pub use program::Program;
+pub use routine::Routine;
+pub use seed::{Domain, SeedKind};
+pub use stats::ProgramStats;
+
+/// Size of one instruction word in bytes.
+///
+/// The paper counts "instruction words" when measuring temporal reuse
+/// distance (Figure 7); all instruction fetches in the simulator are
+/// word-granular. A basic block of `size` bytes is fetched as
+/// `size.div_ceil(WORD_BYTES)` word accesses.
+pub const WORD_BYTES: u32 = 4;
+
+/// Number of instruction-word fetches needed to execute a block of
+/// `size_bytes` bytes.
+///
+/// ```
+/// assert_eq!(oslay_model::fetch_words(21), 6);
+/// assert_eq!(oslay_model::fetch_words(4), 1);
+/// ```
+#[must_use]
+pub fn fetch_words(size_bytes: u32) -> u32 {
+    size_bytes.div_ceil(WORD_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_words_rounds_up() {
+        assert_eq!(fetch_words(1), 1);
+        assert_eq!(fetch_words(4), 1);
+        assert_eq!(fetch_words(5), 2);
+        assert_eq!(fetch_words(8), 2);
+        assert_eq!(fetch_words(21), 6);
+    }
+
+    #[test]
+    fn fetch_words_zero_is_zero() {
+        assert_eq!(fetch_words(0), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The program container and its validation.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    BasicBlock, BlockId, Domain, ModelError, Routine, RoutineId, SeedKind, Terminator,
+};
+
+/// A complete program: routines, basic blocks, control-flow structure, and
+/// (for operating-system programs) the four seed entry points.
+///
+/// A `Program` is immutable once built (use [`crate::ProgramBuilder`]); all
+/// downstream stages — tracing, profiling, layout, simulation — share it by
+/// reference.
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Program {
+    domain: Domain,
+    blocks: Vec<BasicBlock>,
+    routines: Vec<Routine>,
+    seeds: BTreeMap<SeedKind, RoutineId>,
+    entry: Option<RoutineId>,
+    num_dispatch_tables: usize,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        domain: Domain,
+        blocks: Vec<BasicBlock>,
+        routines: Vec<Routine>,
+        seeds: BTreeMap<SeedKind, RoutineId>,
+        entry: Option<RoutineId>,
+        num_dispatch_tables: usize,
+    ) -> Result<Self, ModelError> {
+        let program = Self {
+            domain,
+            blocks,
+            routines,
+            seeds,
+            entry,
+            num_dispatch_tables,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// Whether this is the operating system or an application.
+    #[must_use]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of routines.
+    #[must_use]
+    pub fn num_routines(&self) -> usize {
+        self.routines.len()
+    }
+
+    /// Number of workload-controlled dispatch tables referenced by
+    /// [`Terminator::Dispatch`] blocks.
+    #[must_use]
+    pub fn num_dispatch_tables(&self) -> usize {
+        self.num_dispatch_tables
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids obtained from this program are
+    /// always in range).
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Looks up a routine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn routine(&self, id: RoutineId) -> &Routine {
+        &self.routines[id.index()]
+    }
+
+    /// Iterates over all blocks with their ids.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i), b))
+    }
+
+    /// Iterates over all routines.
+    pub fn routines(&self) -> impl Iterator<Item = &Routine> {
+        self.routines.iter()
+    }
+
+    /// The seed routine for an operating-system entry class.
+    ///
+    /// Returns `None` for application programs.
+    #[must_use]
+    pub fn seed(&self, kind: SeedKind) -> Option<RoutineId> {
+        self.seeds.get(&kind).copied()
+    }
+
+    /// The seed *block* (entry block of the seed routine) for an entry class.
+    #[must_use]
+    pub fn seed_block(&self, kind: SeedKind) -> Option<BlockId> {
+        self.seed(kind).map(|r| self.routine(r).entry())
+    }
+
+    /// The `main` entry routine of an application program.
+    ///
+    /// Returns `None` for operating-system programs (use [`Program::seed`]).
+    #[must_use]
+    pub fn entry(&self) -> Option<RoutineId> {
+        self.entry
+    }
+
+    /// Finds a routine by name.
+    #[must_use]
+    pub fn routine_by_name(&self, name: &str) -> Option<&Routine> {
+        self.routines.iter().find(|r| r.name() == name)
+    }
+
+    /// Total static code size in bytes (sum of all block sizes).
+    #[must_use]
+    pub fn total_size(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.size())).sum()
+    }
+
+    /// Blocks in *source order*: routine creation order, blocks within each
+    /// routine in their source order. The `Base` layout places code exactly
+    /// in this order, mirroring the unoptimized kernel image.
+    pub fn source_order(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.routines.iter().flat_map(|r| r.blocks().iter().copied())
+    }
+
+    /// Average basic-block size in bytes (paper: 21.3 bytes).
+    #[must_use]
+    pub fn mean_block_size(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.total_size() as f64 / self.blocks.len() as f64
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let mut names = std::collections::HashSet::new();
+        for routine in &self.routines {
+            if routine.blocks().is_empty() {
+                return Err(ModelError::EmptyRoutine(routine.id()));
+            }
+            if !names.insert(routine.name()) {
+                return Err(ModelError::DuplicateRoutineName(routine.name().to_owned()));
+            }
+        }
+        for (id, block) in self.blocks() {
+            if block.size() == 0 {
+                return Err(ModelError::ZeroSizeBlock(id));
+            }
+            self.validate_terminator(id, block)?;
+        }
+        if self.domain == Domain::Os {
+            for kind in SeedKind::ALL {
+                let seed = self.seeds.get(&kind).ok_or(ModelError::MissingSeed(kind))?;
+                if seed.index() >= self.routines.len() {
+                    return Err(ModelError::DanglingSeed(kind, *seed));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_terminator(&self, id: BlockId, block: &BasicBlock) -> Result<(), ModelError> {
+        let check_target = |dst: BlockId| -> Result<(), ModelError> {
+            let Some(target) = self.blocks.get(dst.index()) else {
+                return Err(ModelError::DanglingBlock { src: id, dst });
+            };
+            if target.routine() != block.routine() {
+                return Err(ModelError::CrossRoutineEdge { src: id, dst });
+            }
+            Ok(())
+        };
+        match block.terminator() {
+            Terminator::Jump(dst) => check_target(*dst)?,
+            Terminator::Branch(targets) => {
+                if targets.is_empty() {
+                    return Err(ModelError::EmptyTargets(id));
+                }
+                let mut sum = 0.0;
+                for t in targets {
+                    check_target(t.dst)?;
+                    if t.prob <= 0.0 {
+                        return Err(ModelError::BadProbabilities { src: id, sum: t.prob });
+                    }
+                    sum += t.prob;
+                }
+                if (sum - 1.0).abs() > 1e-6 {
+                    return Err(ModelError::BadProbabilities { src: id, sum });
+                }
+            }
+            Terminator::Dispatch { targets, .. } => {
+                if targets.is_empty() {
+                    return Err(ModelError::EmptyTargets(id));
+                }
+                for &dst in targets {
+                    check_target(dst)?;
+                }
+            }
+            Terminator::Call { callee, ret_to } => {
+                if callee.index() >= self.routines.len() {
+                    return Err(ModelError::DanglingCallee {
+                        src: id,
+                        callee: *callee,
+                    });
+                }
+                check_target(*ret_to)?;
+            }
+            Terminator::Return => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BranchTarget, Domain, ProgramBuilder, SeedKind, Terminator};
+
+    fn tiny_os() -> crate::Program {
+        let mut b = ProgramBuilder::new(Domain::Os);
+        let mut seed_routines = Vec::new();
+        for kind in SeedKind::ALL {
+            let r = b.begin_routine(format!("seed_{kind}"));
+            let entry = b.add_block(16);
+            b.terminate(entry, Terminator::Return);
+            b.end_routine();
+            seed_routines.push((kind, r));
+        }
+        for (kind, r) in seed_routines {
+            b.set_seed(kind, r);
+        }
+        b.build().expect("valid tiny OS")
+    }
+
+    #[test]
+    fn tiny_os_builds_and_has_seeds() {
+        let p = tiny_os();
+        assert_eq!(p.num_routines(), 4);
+        assert_eq!(p.num_blocks(), 4);
+        for kind in SeedKind::ALL {
+            assert!(p.seed(kind).is_some());
+            assert!(p.seed_block(kind).is_some());
+        }
+        assert_eq!(p.entry(), None);
+    }
+
+    #[test]
+    fn source_order_covers_all_blocks_once() {
+        let p = tiny_os();
+        let order: Vec<_> = p.source_order().collect();
+        assert_eq!(order.len(), p.num_blocks());
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), p.num_blocks());
+    }
+
+    #[test]
+    fn missing_seed_is_rejected() {
+        let mut b = ProgramBuilder::new(Domain::Os);
+        let _r = b.begin_routine("only");
+        let blk = b.add_block(8);
+        b.terminate(blk, Terminator::Return);
+        b.end_routine();
+        assert!(matches!(
+            b.build(),
+            Err(crate::ModelError::MissingSeed(SeedKind::Interrupt))
+        ));
+    }
+
+    #[test]
+    fn bad_probability_sum_is_rejected() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let r = b.begin_routine("main");
+        let e = b.add_block(8);
+        let x = b.add_block(8);
+        b.terminate(
+            e,
+            Terminator::branch([BranchTarget::new(x, 0.5), BranchTarget::new(x, 0.1)]),
+        );
+        b.terminate(x, Terminator::Return);
+        b.end_routine();
+        b.set_entry(r);
+        assert!(matches!(
+            b.build(),
+            Err(crate::ModelError::BadProbabilities { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_routine_jump_is_rejected() {
+        let mut b = ProgramBuilder::new(Domain::App);
+        let r = b.begin_routine("main");
+        let e = b.add_block(8);
+        b.end_routine();
+        let _other = b.begin_routine("other");
+        let o = b.add_block(8);
+        b.terminate(o, Terminator::Return);
+        b.end_routine();
+        b.terminate(e, Terminator::Jump(o));
+        b.set_entry(r);
+        assert!(matches!(
+            b.build(),
+            Err(crate::ModelError::CrossRoutineEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_block_size() {
+        let p = tiny_os();
+        assert!((p.mean_block_size() - 16.0).abs() < f64::EPSILON);
+        assert_eq!(p.total_size(), 64);
+    }
+}

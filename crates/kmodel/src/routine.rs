@@ -1,0 +1,57 @@
+//! Routines (procedures).
+
+use crate::{BlockId, RoutineId};
+
+/// A routine: a named procedure owning a contiguous group of basic blocks.
+///
+/// Blocks are listed in *source order* — the order the original code placed
+/// them in memory — which is what the `Base` layout reproduces.
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Routine {
+    id: RoutineId,
+    name: String,
+    entry: BlockId,
+    blocks: Vec<BlockId>,
+}
+
+impl Routine {
+    pub(crate) fn new(id: RoutineId, name: String, entry: BlockId, blocks: Vec<BlockId>) -> Self {
+        Self {
+            id,
+            name,
+            entry,
+            blocks,
+        }
+    }
+
+    /// This routine's id.
+    #[must_use]
+    pub fn id(&self) -> RoutineId {
+        self.id
+    }
+
+    /// The routine's name (unique within a program).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block control enters when this routine is called.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// All blocks of the routine in source order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of basic blocks in the routine.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}

@@ -1,0 +1,140 @@
+//! Operating-system entry classes and reference domains.
+
+use std::fmt;
+
+/// The class of event that caused an operating-system invocation.
+///
+/// The paper identifies four *seeds* — the starting basic blocks of the
+/// common operating-system functions — and grows its code sequences from
+/// them (Section 3.2.1). Table 1 breaks down each workload's invocations
+/// into these same four classes.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SeedKind {
+    /// Interrupt servicing: cross-processor, clock, I/O, or multiprocessor
+    /// synchronization interrupts.
+    Interrupt,
+    /// Page-fault and TLB-miss servicing.
+    PageFault,
+    /// System-call servicing.
+    SysCall,
+    /// Everything else (context switching, scheduler entry, ...).
+    Other,
+}
+
+impl SeedKind {
+    /// All seed kinds, in the order used by the paper's Table 4.
+    pub const ALL: [SeedKind; 4] = [
+        SeedKind::Interrupt,
+        SeedKind::PageFault,
+        SeedKind::SysCall,
+        SeedKind::Other,
+    ];
+
+    /// Dense index of this seed kind (`0..4`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SeedKind::Interrupt => 0,
+            SeedKind::PageFault => 1,
+            SeedKind::SysCall => 2,
+            SeedKind::Other => 3,
+        }
+    }
+
+    /// Inverse of [`SeedKind::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Short human-readable label used in tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SeedKind::Interrupt => "Interrupt",
+            SeedKind::PageFault => "PageFault",
+            SeedKind::SysCall => "SysCall",
+            SeedKind::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for SeedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether an instruction fetch (or a program) belongs to the operating
+/// system or to the application.
+///
+/// The paper's miss classification (Figure 1, Figure 12) distinguishes
+/// operating-system self-interference, application self-interference, and
+/// the two cross-interference directions; the domain of each fetch is the
+/// input to that classification.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Domain {
+    /// Operating-system code.
+    Os,
+    /// Application code.
+    App,
+}
+
+impl Domain {
+    /// Dense index of this domain (`0..2`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Domain::Os => 0,
+            Domain::App => 1,
+        }
+    }
+
+    /// The opposite domain.
+    #[must_use]
+    pub fn other(self) -> Self {
+        match self {
+            Domain::Os => Domain::App,
+            Domain::App => Domain::Os,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Domain::Os => "OS",
+            Domain::App => "App",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_index_round_trips() {
+        for kind in SeedKind::ALL {
+            assert_eq!(SeedKind::from_index(kind.index()), kind);
+        }
+    }
+
+    #[test]
+    fn domain_other_is_involution() {
+        assert_eq!(Domain::Os.other(), Domain::App);
+        assert_eq!(Domain::App.other().other(), Domain::App);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(SeedKind::PageFault.to_string(), "PageFault");
+        assert_eq!(Domain::Os.to_string(), "OS");
+    }
+}

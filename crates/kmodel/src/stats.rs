@@ -1,0 +1,143 @@
+//! Static program statistics.
+//!
+//! Summarizes a [`Program`]'s static shape — the numbers the paper quotes
+//! when describing its kernel (≈ 930 KB, ≈ 2,300 routines, 21.3-byte
+//! average basic block) — so generators and user-supplied programs can be
+//! sanity-checked quickly.
+
+use crate::{Program, Terminator};
+
+/// Static census of one program.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProgramStats {
+    /// Number of routines.
+    pub routines: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Total code bytes.
+    pub bytes: u64,
+    /// Mean basic-block size in bytes.
+    pub mean_block_size: f64,
+    /// Mean blocks per routine.
+    pub mean_blocks_per_routine: f64,
+    /// Blocks ending in an unconditional jump.
+    pub jumps: usize,
+    /// Blocks ending in a conditional/multiway branch.
+    pub branches: usize,
+    /// Blocks ending in a workload-controlled dispatch.
+    pub dispatches: usize,
+    /// Call sites.
+    pub calls: usize,
+    /// Return blocks.
+    pub returns: usize,
+    /// Blocks with a natural fall-through successor.
+    pub fallthroughs: usize,
+}
+
+impl ProgramStats {
+    /// Computes the census.
+    #[must_use]
+    pub fn compute(program: &Program) -> Self {
+        let mut jumps = 0;
+        let mut branches = 0;
+        let mut dispatches = 0;
+        let mut calls = 0;
+        let mut returns = 0;
+        let mut fallthroughs = 0;
+        for (_, block) in program.blocks() {
+            match block.terminator() {
+                Terminator::Jump(_) => jumps += 1,
+                Terminator::Branch(_) => branches += 1,
+                Terminator::Dispatch { .. } => dispatches += 1,
+                Terminator::Call { .. } => calls += 1,
+                Terminator::Return => returns += 1,
+            }
+            if block.fallthrough().is_some() {
+                fallthroughs += 1;
+            }
+        }
+        let blocks = program.num_blocks();
+        let routines = program.num_routines();
+        Self {
+            routines,
+            blocks,
+            bytes: program.total_size(),
+            mean_block_size: program.mean_block_size(),
+            mean_blocks_per_routine: if routines == 0 {
+                0.0
+            } else {
+                blocks as f64 / routines as f64
+            },
+            jumps,
+            branches,
+            dispatches,
+            calls,
+            returns,
+            fallthroughs,
+        }
+    }
+
+    /// Terminator counts sum to the number of blocks (a consistency check
+    /// exposed for tests and asserts).
+    #[must_use]
+    pub fn terminators_total(&self) -> usize {
+        self.jumps + self.branches + self.dispatches + self.calls + self.returns
+    }
+}
+
+impl std::fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} routines, {} blocks, {:.1} KB (mean block {:.1} B); \
+             terminators: {} jump / {} branch / {} dispatch / {} call / {} return",
+            self.routines,
+            self.blocks,
+            self.bytes as f64 / 1024.0,
+            self.mean_block_size,
+            self.jumps,
+            self.branches,
+            self.dispatches,
+            self.calls,
+            self.returns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_kernel, KernelParams, Scale};
+
+    #[test]
+    fn census_is_consistent() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 3));
+        let s = ProgramStats::compute(&k.program);
+        assert_eq!(s.terminators_total(), s.blocks);
+        assert_eq!(s.blocks, k.program.num_blocks());
+        assert_eq!(s.routines, k.program.num_routines());
+        assert!(s.calls > 0);
+        assert!(s.dispatches >= 4, "four seed services dispatch");
+        assert!(s.fallthroughs < s.blocks);
+    }
+
+    #[test]
+    fn kernel_mean_block_size_is_paper_like() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Small, 3));
+        let s = ProgramStats::compute(&k.program);
+        assert!(
+            (16.0..28.0).contains(&s.mean_block_size),
+            "mean block {}",
+            s.mean_block_size
+        );
+        assert!(s.mean_blocks_per_routine > 5.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 3));
+        let text = ProgramStats::compute(&k.program).to_string();
+        assert!(text.contains("routines"));
+        assert!(text.contains("dispatch"));
+    }
+}

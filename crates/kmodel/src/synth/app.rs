@@ -1,0 +1,374 @@
+//! Synthetic application generators.
+//!
+//! The paper's workloads mix three application families:
+//!
+//! * **Scientific** (TRFD, ARC2D): small hand-parallelized Fortran codes
+//!   dominated by tight matrix loops — a tiny instruction working set with
+//!   very high loop counts, hence a negligible miss rate of its own but
+//!   frequent OS interaction (scheduling, cross-processor interrupts).
+//! * **Compiler** (the second phase of the C compiler driven by `make`):
+//!   ~15,000 lines of sequence-heavy code — many routines, skewed branches,
+//!   a working set large enough to miss on its own.
+//! * **Utility** (`fsck`): medium-sized I/O-heavy checking code with
+//!   loops-over-inodes that call checking routines.
+//!
+//! An application program's `main` routine is an endless job loop; the trace
+//! engine suspends and resumes it around OS invocations, the way a real CPU
+//! interleaves user and kernel execution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BranchTarget, Domain, Program, ProgramBuilder, RoutineId, Terminator};
+
+use super::params::BlockSizeDist;
+use super::shape::{build_chain_routine, ChainSpec, Detour, DetourBody, LoopSpec};
+
+/// The application family to generate.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum AppKind {
+    /// Tight-loop scientific code (TRFD / ARC2D analogue).
+    Scientific,
+    /// Sequence-heavy compiler pass (cc1 analogue).
+    Compiler,
+    /// I/O-heavy file checker (fsck analogue).
+    Utility,
+}
+
+/// Parameters for application generation.
+#[derive(Clone, Debug)]
+pub struct AppParams {
+    /// RNG seed (deterministic generation).
+    pub seed: u64,
+    /// Basic-block size distribution.
+    pub sizes: BlockSizeDist,
+    /// Scale multiplier for routine counts (1.0 = paper scale).
+    pub scale: f64,
+}
+
+impl AppParams {
+    /// Paper-scale parameters with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            sizes: BlockSizeDist::paper(),
+            scale: 1.0,
+        }
+    }
+
+    /// Shrinks the application (for tests/benches).
+    #[must_use]
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale).round() as usize).max(2)
+    }
+}
+
+/// Generates a single-family application program.
+#[must_use]
+pub fn generate_app(kind: AppKind, params: &AppParams) -> Program {
+    generate_app_mix(&[(kind, 1.0)], params)
+}
+
+/// Generates an application that mixes several families with the given
+/// weights (e.g. the TRFD+Make workload runs scientific and compiler jobs
+/// concurrently; a single processor's trace interleaves both).
+///
+/// # Panics
+///
+/// Panics if `components` is empty or all weights are zero.
+#[must_use]
+pub fn generate_app_mix(components: &[(AppKind, f64)], params: &AppParams) -> Program {
+    assert!(!components.is_empty(), "need at least one app component");
+    let total: f64 = components.iter().map(|c| c.1).sum();
+    assert!(total > 0.0, "app mix weights must be positive");
+
+    let mut g = AppGen {
+        b: ProgramBuilder::new(Domain::App),
+        rng: StdRng::seed_from_u64(params.seed),
+        sizes: params.sizes.clone(),
+        params: params.clone(),
+    };
+    let mut entries = Vec::new();
+    for (i, &(kind, weight)) in components.iter().enumerate() {
+        let main = match kind {
+            AppKind::Scientific => g.scientific(i),
+            AppKind::Compiler => g.compiler(i),
+            AppKind::Utility => g.utility(i),
+        };
+        entries.push((main, weight / total));
+    }
+
+    // The top-level job loop: pick a component job, run it, repeat forever.
+    let main = g.b.begin_routine("main");
+    let head = g.b.add_block(12);
+    let stubs: Vec<_> = entries.iter().map(|_| g.b.add_block(8)).collect();
+    g.b.terminate(
+        head,
+        Terminator::branch(
+            stubs
+                .iter()
+                .zip(&entries)
+                .map(|(&stub, &(_, w))| BranchTarget::new(stub, w)),
+        ),
+    );
+    for (&stub, &(component_main, _)) in stubs.iter().zip(&entries) {
+        g.b.terminate(
+            stub,
+            Terminator::Call {
+                callee: component_main,
+                ret_to: head,
+            },
+        );
+    }
+    g.b.end_routine();
+    g.b.set_entry(main);
+    g.b.build().expect("generated application must validate")
+}
+
+struct AppGen {
+    b: ProgramBuilder,
+    rng: StdRng,
+    sizes: BlockSizeDist,
+    params: AppParams,
+}
+
+impl AppGen {
+    fn chain(&mut self, spec: ChainSpec) -> RoutineId {
+        build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, &spec)
+    }
+
+    /// Random sequence-heavy routine calling into `pool`.
+    fn seq_routine(&mut self, name: String, pool: &[RoutineId], loop_prob: f64) -> RoutineId {
+        let hot = self.rng.gen_range(5..=12);
+        let mut spec = ChainSpec::new(name, hot);
+        let mut occupied = vec![false; hot];
+        if self.rng.gen_bool(loop_prob) && hot >= 4 {
+            let start = self.rng.gen_range(0..hot - 2);
+            let end = self.rng.gen_range(start..hot - 1);
+            occupied[end] = true;
+            spec.loops.push(LoopSpec {
+                start,
+                end,
+                mean_iters: self.rng.gen_range(1.5..8.0),
+            });
+        }
+        let n_calls = self.rng.gen_range(0..=3.min(pool.len()));
+        let mut pos = 0;
+        for _ in 0..n_calls {
+            while pos < hot && occupied[pos] {
+                pos += 1;
+            }
+            if pos >= hot {
+                break;
+            }
+            occupied[pos] = true;
+            let c = self.rng.gen_range(0..pool.len());
+            spec = spec.call(pos, pool[c]);
+            pos += 2;
+        }
+        #[allow(clippy::needless_range_loop)] // p is a position, not just an index
+        for p in 0..hot {
+            if occupied[p] {
+                continue;
+            }
+            if self.rng.gen_bool(0.3) {
+                spec = spec.detour(Detour {
+                    pos: p,
+                    enter_prob: if self.rng.gen_bool(0.5) {
+                        self.rng.gen_range(0.002..0.02)
+                    } else {
+                        self.rng.gen_range(0.08..0.35)
+                    },
+                    body: DetourBody::Plain,
+                    to_tail: false,
+                });
+            }
+        }
+        spec.cold_tail = self.rng.gen_range(1..=4);
+        self.chain(spec)
+    }
+
+    /// Emits one cold routine (used to interleave cold code among hot
+    /// routines, as real images do).
+    fn cold_one(&mut self, prefix: &str, i: usize) {
+        let hot = self.rng.gen_range(4..=16);
+        let spec = ChainSpec::new(format!("{prefix}_cold{i}"), hot)
+            .cold_tail(self.rng.gen_range(0..=3));
+        let _ = self.chain(spec);
+    }
+
+    fn cold_bulk(&mut self, prefix: &str, count: usize) {
+        for i in 0..count {
+            let hot = self.rng.gen_range(4..=16);
+            let spec = ChainSpec::new(format!("{prefix}_coldbulk{i}"), hot)
+                .cold_tail(self.rng.gen_range(0..=3));
+            let _ = self.chain(spec);
+        }
+    }
+
+    fn scientific(&mut self, idx: usize) -> RoutineId {
+        let tag = format!("sci{idx}");
+        let inner = self.chain(ChainSpec::new(format!("{tag}_dgemm_inner"), 3).looped(0, 1, 60.0));
+        let outer = self.chain(
+            ChainSpec::new(format!("{tag}_dgemm_outer"), 5)
+                .call(2, inner)
+                .looped(1, 3, 30.0),
+        );
+        let interchange =
+            self.chain(ChainSpec::new(format!("{tag}_interchange"), 4).looped(1, 2, 40.0));
+        let barrier = self.chain(ChainSpec::new(format!("{tag}_barrier"), 3).looped(1, 1, 2.0));
+        let init = self.chain(ChainSpec::new(format!("{tag}_init"), 6).cold_tail(2));
+        self.cold_bulk(&tag, self.params.scaled(28));
+        // One "job": init once, then iterate the solve loop.
+        self.chain(
+            ChainSpec::new(format!("{tag}_main"), 9)
+                .call(0, init)
+                .call(3, outer)
+                .call(4, interchange)
+                .call(5, barrier)
+                .looped(2, 6, 10.0)
+                .cold_tail(2),
+        )
+    }
+
+    fn compiler(&mut self, idx: usize) -> RoutineId {
+        let tag = format!("cc{idx}");
+        let lex = self.chain(ChainSpec::new(format!("{tag}_lex_next"), 4).looped(1, 2, 6.0));
+        let hash = self.chain(ChainSpec::new(format!("{tag}_sym_hash"), 2));
+        let sym = self.chain(
+            ChainSpec::new(format!("{tag}_sym_lookup"), 5)
+                .call(1, hash)
+                .looped(2, 3, 2.5),
+        );
+        let mut pool = vec![lex, sym];
+        let n = self.params.scaled(96);
+        for i in 0..n {
+            let name = match i {
+                0 => format!("{tag}_parse_expr"),
+                1 => format!("{tag}_parse_term"),
+                2 => format!("{tag}_parse_stmt"),
+                3 => format!("{tag}_parse_decl"),
+                4 => format!("{tag}_emit_expr"),
+                5 => format!("{tag}_emit_stmt"),
+                6 => format!("{tag}_reg_alloc"),
+                7 => format!("{tag}_opt_fold"),
+                _ => format!("{tag}_pass{i}"),
+            };
+            let r = self.seq_routine(name, &pool, 0.25);
+            pool.push(r);
+            // Interleave cold special-case code between the hot routines,
+            // as the compiler's real image does.
+            self.cold_one(&tag, i);
+        }
+        self.cold_bulk(&tag, self.params.scaled(30));
+        let top_a = pool[pool.len() - 1];
+        let top_b = pool[pool.len() - 3];
+        let top_c = pool[2.min(pool.len() - 1)];
+        self.chain(
+            ChainSpec::new(format!("{tag}_main"), 9)
+                .call(1, top_c)
+                .call(3, top_b)
+                .call(5, top_a)
+                .looped(2, 6, 40.0)
+                .cold_tail(3),
+        )
+    }
+
+    fn utility(&mut self, idx: usize) -> RoutineId {
+        let tag = format!("fsck{idx}");
+        let scan = self.chain(ChainSpec::new(format!("{tag}_scan_blocks"), 4).looped(0, 2, 12.0));
+        let mut pool = vec![scan];
+        let n = self.params.scaled(40);
+        for i in 0..n {
+            let name = match i {
+                0 => format!("{tag}_check_inode"),
+                1 => format!("{tag}_check_dir"),
+                2 => format!("{tag}_check_link"),
+                _ => format!("{tag}_pass{i}"),
+            };
+            let r = self.seq_routine(name, &pool, 0.35);
+            pool.push(r);
+            self.cold_one(&tag, i);
+        }
+        self.cold_bulk(&tag, self.params.scaled(14));
+        let check = pool[1.min(pool.len() - 1)];
+        let last = pool[pool.len() - 1];
+        self.chain(
+            ChainSpec::new(format!("{tag}_main"), 8)
+                .call(1, check)
+                .call(4, last)
+                .looped(2, 5, 20.0)
+                .cold_tail(2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AppParams {
+        AppParams::new(5).with_scale(0.2)
+    }
+
+    #[test]
+    fn each_kind_generates_a_valid_program() {
+        for kind in [AppKind::Scientific, AppKind::Compiler, AppKind::Utility] {
+            let p = generate_app(kind, &small());
+            assert_eq!(p.domain(), Domain::App);
+            assert!(p.entry().is_some(), "{kind:?} must have an entry");
+            assert!(p.num_blocks() > 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_app(AppKind::Compiler, &small());
+        let b = generate_app(AppKind::Compiler, &small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_contains_both_components() {
+        let p = generate_app_mix(
+            &[(AppKind::Scientific, 0.5), (AppKind::Compiler, 0.5)],
+            &small(),
+        );
+        assert!(p.routine_by_name("sci0_main").is_some());
+        assert!(p.routine_by_name("cc1_main").is_some());
+        assert!(p.routine_by_name("main").is_some());
+    }
+
+    #[test]
+    fn compiler_is_much_larger_than_scientific_hot_part() {
+        let params = AppParams::new(9);
+        let sci = generate_app(AppKind::Scientific, &params);
+        let cc = generate_app(AppKind::Compiler, &params);
+        assert!(cc.total_size() > 2 * sci.total_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_mix_panics() {
+        let _ = generate_app_mix(&[], &small());
+    }
+
+    #[test]
+    fn main_job_loop_never_falls_off() {
+        // `main`'s stubs call component mains and return to the head:
+        // the walk can always continue.
+        let p = generate_app(AppKind::Utility, &small());
+        let main = p.routine_by_name("main").unwrap();
+        let head = main.entry();
+        match p.block(head).terminator() {
+            Terminator::Branch(targets) => assert!(!targets.is_empty()),
+            other => panic!("unexpected main head terminator {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1183 @@
+//! Synthetic operating-system kernel generator.
+//!
+//! Builds a kernel image with the structure the paper measures: four seed
+//! services (interrupt, page-fault, system-call, other), subsystems (VM,
+//! file system, process management, buffer/device I/O), a set of tiny hot
+//! utility routines shared by everything (locks, timer reads, register
+//! save/restore, TLB shootdown, block zero/copy, software multiply/divide),
+//! and a large bulk of never-invoked special-case routines interleaved with
+//! the hot code in source order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    BlockId, DispatchId, Domain, Program, ProgramBuilder, RoutineId, SeedKind, Terminator,
+};
+
+use super::params::{BlockSizeDist, KernelParams};
+use super::shape::{build_chain_routine, ChainSpec, Detour, DetourBody, LoopSpec};
+
+/// The workload-controlled dispatch tables of a synthetic kernel.
+///
+/// `oslay-trace` workload specifications provide a weight vector per table;
+/// the vector length must equal the table's arity.
+#[derive(Clone, Debug)]
+pub struct DispatchTables {
+    /// Interrupt-type dispatch (timer, cross-processor, I/O, sync).
+    pub interrupt: DispatchId,
+    /// Number of interrupt types.
+    pub interrupt_arity: usize,
+    /// Fault-type dispatch (TLB fix, protection, demand-zero, swap-in).
+    pub fault: DispatchId,
+    /// Number of fault types.
+    pub fault_arity: usize,
+    /// System-call dispatch.
+    pub syscall: DispatchId,
+    /// Number of system calls.
+    pub syscall_arity: usize,
+    /// "Other" service dispatch (context switch, idle, signal delivery).
+    pub other: DispatchId,
+    /// Number of "other" services.
+    pub other_arity: usize,
+}
+
+impl DispatchTables {
+    /// Arity of the table identified by `id`, if it is one of the four.
+    #[must_use]
+    pub fn arity(&self, id: DispatchId) -> Option<usize> {
+        if id == self.interrupt {
+            Some(self.interrupt_arity)
+        } else if id == self.fault {
+            Some(self.fault_arity)
+        } else if id == self.syscall {
+            Some(self.syscall_arity)
+        } else if id == self.other {
+            Some(self.other_arity)
+        } else {
+            None
+        }
+    }
+}
+
+/// A generated kernel: the program plus its dispatch-table metadata.
+#[derive(Clone, Debug)]
+pub struct SyntheticKernel {
+    /// The kernel program.
+    pub program: Program,
+    /// Dispatch tables that workloads parameterize.
+    pub tables: DispatchTables,
+}
+
+/// Generates a synthetic kernel.
+///
+/// Deterministic: the same [`KernelParams`] (including seed) always produce
+/// the same program.
+///
+/// # Panics
+///
+/// Panics only on internal generator bugs; all parameter combinations
+/// produced by [`KernelParams::at_scale`] are valid.
+#[must_use]
+pub fn generate_kernel(params: &KernelParams) -> SyntheticKernel {
+    Generator::new(params).run()
+}
+
+const SYSCALL_NAMES: [&str; 36] = [
+    "read", "write", "open", "close", "stat", "fstat", "lseek", "dup", "pipe", "ioctl", "fcntl",
+    "access", "unlink", "link", "mkdir", "rmdir", "chdir", "chmod", "chown", "mount", "fork",
+    "vfork", "execve", "exit", "wait", "kill", "getpid", "getuid", "brk", "sbrk", "mmap",
+    "munmap", "gettimeofday", "select", "sigvec", "sync",
+];
+
+const COLD_SUBSYSTEMS: [&str; 12] = [
+    "nfs", "tty", "net", "sock", "quota", "ipc", "ktrace", "execfmt", "acct", "rawdev", "route",
+    "uipc",
+];
+
+/// Hot utility routines shared across all services.
+struct Utilities {
+    lock_acquire: RoutineId,
+    lock_release: RoutineId,
+    read_hrc: RoutineId,
+    soft_mul: RoutineId,
+    soft_div: RoutineId,
+    state_save: RoutineId,
+    state_restore: RoutineId,
+    usr_sys_trans: RoutineId,
+    tlb_invalidate: RoutineId,
+    bzero: RoutineId,
+    bcopy: RoutineId,
+    check_curtimer: RoutineId,
+    update_hrtimer: RoutineId,
+    sched_wakeup: RoutineId,
+    hashfn: RoutineId,
+    strcmp_k: RoutineId,
+}
+
+struct Generator<'p> {
+    b: ProgramBuilder,
+    rng: StdRng,
+    p: &'p KernelParams,
+    sizes: BlockSizeDist,
+    /// Never-invoked cold routines remaining to emit.
+    cold_remaining: usize,
+    cold_counter: usize,
+    /// Fractional accumulator controlling cold interleave.
+    cold_acc: f64,
+    cold_per_hot: f64,
+    /// Rarely-invoked helper routines used as cold-detour callees.
+    rare_pool: Vec<RoutineId>,
+}
+
+impl<'p> Generator<'p> {
+    fn new(p: &'p KernelParams) -> Self {
+        let hot_estimate = 16
+            + p.num_io_routines
+            + p.num_vm_routines
+            + p.num_fs_routines
+            + p.num_proc_routines
+            + p.num_syscalls
+            + 24
+            + (p.num_io_routines + p.num_vm_routines + p.num_fs_routines + p.num_proc_routines);
+        Self {
+            b: ProgramBuilder::new(Domain::Os),
+            rng: StdRng::seed_from_u64(p.seed),
+            p,
+            sizes: p.sizes.clone(),
+            cold_remaining: p.num_cold_routines,
+            cold_counter: 0,
+            cold_acc: 0.0,
+            cold_per_hot: p.num_cold_routines as f64 / hot_estimate as f64,
+            rare_pool: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> SyntheticKernel {
+        let utils = self.build_utilities();
+        let io = self.build_io_subsystem(&utils);
+        let vm = self.build_vm_subsystem(&utils, &io);
+        let fs = self.build_fs_subsystem(&utils, &io, &vm);
+        let proc = self.build_proc_subsystem(&utils, &vm);
+        let handlers = self.build_syscall_handlers(&utils, &fs, &vm, &proc, &io);
+
+        let interrupt_table = self.b.new_dispatch_table();
+        let fault_table = self.b.new_dispatch_table();
+        let syscall_table = self.b.new_dispatch_table();
+        let other_table = self.b.new_dispatch_table();
+
+        let intr_handlers = self.build_interrupt_handlers(&utils, &io);
+        let intr_entry = self.dispatch_service(
+            "intr_entry",
+            &[utils.state_save],
+            &intr_handlers,
+            &[utils.state_restore],
+            interrupt_table,
+        );
+
+        let fault_handlers = self.build_fault_handlers(&utils, &vm, &io);
+        let fault_entry = self.dispatch_service(
+            "pf_entry",
+            &[utils.usr_sys_trans],
+            &fault_handlers,
+            &[utils.state_restore],
+            fault_table,
+        );
+
+        let usr_sys_ret = self.auto_chain(AutoChain {
+            name: "usr_sys_ret".into(),
+            hot: 4,
+            calls: vec![utils.state_restore],
+            loops: vec![],
+            cold_tail: 2,
+            fat: true,
+            extra_detours: true,
+        });
+        let sc_entry = self.dispatch_service(
+            "sc_entry",
+            &[utils.usr_sys_trans],
+            &handlers,
+            &[usr_sys_ret],
+            syscall_table,
+        );
+
+        let other_handlers = self.build_other_handlers(&utils, &proc);
+        let other_entry = self.dispatch_service(
+            "swtch_entry",
+            &[],
+            &other_handlers,
+            &[],
+            other_table,
+        );
+
+        self.drain_cold();
+
+        self.b.set_seed(SeedKind::Interrupt, intr_entry);
+        self.b.set_seed(SeedKind::PageFault, fault_entry);
+        self.b.set_seed(SeedKind::SysCall, sc_entry);
+        self.b.set_seed(SeedKind::Other, other_entry);
+
+        let program = self.b.build().expect("generated kernel must validate");
+        SyntheticKernel {
+            program,
+            tables: DispatchTables {
+                interrupt: interrupt_table,
+                interrupt_arity: intr_handlers.len(),
+                fault: fault_table,
+                fault_arity: fault_handlers.len(),
+                syscall: syscall_table,
+                syscall_arity: handlers.len(),
+                other: other_table,
+                other_arity: other_handlers.len(),
+            },
+        }
+    }
+
+    // ----- utilities ------------------------------------------------------
+
+    fn build_utilities(&mut self) -> Utilities {
+        let lock_acquire = self.spec_chain(
+            ChainSpec::new("lock_acquire", 3).looped(1, 1, 1.2),
+        );
+        let lock_release = self.spec_chain(ChainSpec::new("lock_release", 2));
+        let read_hrc = self.spec_chain(ChainSpec::new("read_hrc", 2));
+        let soft_mul = self.spec_chain(ChainSpec::new("soft_mul", 4).looped(1, 2, 8.0));
+        let soft_div = self.spec_chain(ChainSpec::new("soft_div", 5).looped(1, 3, 12.0));
+        let state_save = self.spec_chain(ChainSpec::new("state_save", 3).fat());
+        let state_restore = self.spec_chain(ChainSpec::new("state_restore", 3).fat());
+        let sig_check_detour = Detour {
+            pos: 3,
+            enter_prob: 0.12,
+            body: DetourBody::Plain,
+            to_tail: false,
+        };
+        let usr_sys_trans = self.spec_chain(
+            ChainSpec::new("usr_sys_trans", 5)
+                .fat()
+                .detour(sig_check_detour)
+                .cold_tail(2),
+        );
+        let tlb_invalidate = self.spec_chain(ChainSpec::new("tlb_invalidate", 3).looped(1, 1, 4.0));
+        let bzero = self.spec_chain(ChainSpec::new("bzero", 2).looped(0, 0, 32.0));
+        let bcopy = self.spec_chain(ChainSpec::new("bcopy", 2).looped(0, 0, 24.0));
+        let check_curtimer = self.spec_chain(ChainSpec::new("check_curtimer", 3).looped(0, 1, 2.2));
+        let update_hrtimer = self.spec_chain(ChainSpec::new("update_hrtimer", 3));
+        let sched_wakeup = self.auto_chain(AutoChain {
+            name: "sched_wakeup".into(),
+            hot: 4,
+            calls: vec![lock_acquire, lock_release],
+            loops: vec![],
+            cold_tail: 2,
+            fat: false,
+            extra_detours: true,
+        });
+        let hashfn = self.spec_chain(ChainSpec::new("hashfn", 2));
+        let strcmp_k = self.spec_chain(ChainSpec::new("strcmp_k", 2).looped(0, 0, 8.0));
+        Utilities {
+            lock_acquire,
+            lock_release,
+            read_hrc,
+            soft_mul,
+            soft_div,
+            state_save,
+            state_restore,
+            usr_sys_trans,
+            tlb_invalidate,
+            bzero,
+            bcopy,
+            check_curtimer,
+            update_hrtimer,
+            sched_wakeup,
+            hashfn,
+            strcmp_k,
+        }
+    }
+
+    // ----- subsystems -----------------------------------------------------
+
+    fn build_io_subsystem(&mut self, u: &Utilities) -> Vec<RoutineId> {
+        self.build_rare_helpers("io", self.p.num_io_routines, &[]);
+        let mut pool = vec![u.lock_acquire, u.lock_release, u.bcopy, u.hashfn];
+        let named = ["bufhash", "getblk", "brelse", "iodone", "disk_strategy", "disk_io"];
+        let mut out = Vec::new();
+        for i in 0..self.p.num_io_routines {
+            let name = named
+                .get(i)
+                .map_or_else(|| format!("io_aux{i}"), |s| (*s).to_owned());
+            let r = self.subsystem_routine(name, &pool, (u.lock_acquire, u.lock_release), 0.45);
+            out.push(r);
+            pool.push(r);
+        }
+        out
+    }
+
+    fn build_vm_subsystem(&mut self, u: &Utilities, io: &[RoutineId]) -> Vec<RoutineId> {
+        self.build_rare_helpers("vm", self.p.num_vm_routines, io);
+        let mut pool = vec![u.lock_acquire, u.lock_release, u.tlb_invalidate, u.bzero];
+        if let Some(&d) = io.last() {
+            pool.push(d);
+        }
+        let named = [
+            "pt_lookup",
+            "page_alloc",
+            "page_free",
+            "pmap_enter",
+            "pmap_remove",
+            "vm_map_enter",
+            "vm_map_remove",
+            "vm_prot_set",
+            "page_reclaim",
+            "swap_alloc",
+        ];
+        let mut out = Vec::new();
+        for i in 0..self.p.num_vm_routines {
+            let name = named
+                .get(i)
+                .map_or_else(|| format!("vm_aux{i}"), |s| (*s).to_owned());
+            let r = self.subsystem_routine(name, &pool, (u.lock_acquire, u.lock_release), 0.45);
+            out.push(r);
+            pool.push(r);
+        }
+        out
+    }
+
+    fn build_fs_subsystem(
+        &mut self,
+        u: &Utilities,
+        io: &[RoutineId],
+        vm: &[RoutineId],
+    ) -> Vec<RoutineId> {
+        self.build_rare_helpers("fs", self.p.num_fs_routines, io);
+        let mut pool = vec![u.lock_acquire, u.lock_release, u.hashfn, u.strcmp_k, u.bcopy];
+        pool.extend(io.iter().take(4).copied());
+        if let Some(&p0) = vm.get(1) {
+            pool.push(p0);
+        }
+        let named = [
+            "vfs_lookup",
+            "dirlook",
+            "iget",
+            "iput",
+            "ialloc",
+            "iupdat",
+            "bmap",
+            "bread",
+            "bwrite",
+            "readi",
+            "writei",
+            "balloc",
+            "bfree",
+            "dir_add",
+            "dir_rm",
+            "ufs_trunc",
+        ];
+        let mut out = Vec::new();
+        for i in 0..self.p.num_fs_routines {
+            let name = named
+                .get(i)
+                .map_or_else(|| format!("fs_aux{i}"), |s| (*s).to_owned());
+            let r = self.subsystem_routine(name, &pool, (u.lock_acquire, u.lock_release), 0.45);
+            out.push(r);
+            pool.push(r);
+        }
+        // `namei` is a canonical loop-with-calls: iterate over path
+        // components calling the lookup chain.
+        if out.len() >= 2 {
+            let body_callee = out[0];
+            let namei = self.auto_chain(AutoChain {
+                name: "namei".into(),
+                hot: 6,
+                calls: vec![body_callee, u.strcmp_k],
+                loops: vec![LoopSpec {
+                    start: 1,
+                    end: 4,
+                    mean_iters: 3.0,
+                }],
+                cold_tail: 3,
+                fat: false,
+                extra_detours: true,
+            });
+            out.push(namei);
+        }
+        out
+    }
+
+    fn build_proc_subsystem(&mut self, u: &Utilities, vm: &[RoutineId]) -> Vec<RoutineId> {
+        self.build_rare_helpers("proc", self.p.num_proc_routines, vm);
+        let mut pool = vec![u.lock_acquire, u.lock_release, u.sched_wakeup];
+        let page_alloc = vm.get(1).copied();
+        let page_free = vm.get(2).copied();
+        let named = [
+            "runq_insert",
+            "runq_remove",
+            "sched_pick",
+            "setrun",
+            "sleep_on",
+            "wakeup_chan",
+            "sig_post",
+            "cred_check",
+        ];
+        let mut out = Vec::new();
+        for i in 0..self.p.num_proc_routines {
+            let name = named
+                .get(i)
+                .map_or_else(|| format!("proc_aux{i}"), |s| (*s).to_owned());
+            let r = self.subsystem_routine(name, &pool, (u.lock_acquire, u.lock_release), 0.45);
+            out.push(r);
+            pool.push(r);
+        }
+        // The paper's running example of a loop with procedure calls:
+        // freeing a dead process's memory loops over page tables, with
+        // shared-page checks, calling the free routines (Section 3.2.2).
+        if let (Some(pa), Some(pf)) = (page_alloc, page_free) {
+            let proc_dup = self.auto_chain(AutoChain {
+                name: "proc_dup".into(),
+                hot: 8,
+                calls: vec![pa, u.bcopy],
+                loops: vec![LoopSpec {
+                    start: 2,
+                    end: 6,
+                    mean_iters: 8.0,
+                }],
+                cold_tail: 3,
+                fat: false,
+                extra_detours: true,
+            });
+            let proc_free = self.auto_chain(AutoChain {
+                name: "proc_free".into(),
+                hot: 8,
+                calls: vec![pf, u.lock_release],
+                loops: vec![LoopSpec {
+                    start: 1,
+                    end: 6,
+                    mean_iters: 8.0,
+                }],
+                cold_tail: 3,
+                fat: false,
+                extra_detours: true,
+            });
+            out.push(proc_dup);
+            out.push(proc_free);
+        }
+        out
+    }
+
+    // ----- system-call handlers --------------------------------------------
+
+    fn build_syscall_handlers(
+        &mut self,
+        u: &Utilities,
+        fs: &[RoutineId],
+        vm: &[RoutineId],
+        proc: &[RoutineId],
+        io: &[RoutineId],
+    ) -> Vec<RoutineId> {
+        let mut handlers = Vec::with_capacity(self.p.num_syscalls);
+        for i in 0..self.p.num_syscalls {
+            let name = SYSCALL_NAMES
+                .get(i)
+                .map_or_else(|| format!("syscall{i}"), |s| format!("sys_{s}"));
+            let r = match SYSCALL_NAMES.get(i).copied() {
+                Some("getpid" | "getuid") => {
+                    self.spec_chain(ChainSpec::new(name, 2))
+                }
+                Some("gettimeofday") => self.auto_chain(AutoChain {
+                    name,
+                    hot: 4,
+                    calls: vec![u.read_hrc, u.soft_div],
+                    loops: vec![],
+                    cold_tail: 2,
+                    fat: false,
+                    extra_detours: true,
+                }),
+                Some("fork" | "vfork") => {
+                    let dup = proc.last().map_or(u.bcopy, |_| proc[proc.len() - 2]);
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot: 8,
+                        calls: vec![dup, u.lock_acquire, u.lock_release],
+                        loops: vec![],
+                        cold_tail: 4,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+                Some("exit") => {
+                    let free = proc.last().copied().unwrap_or(u.lock_release);
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot: 7,
+                        calls: vec![free, u.sched_wakeup],
+                        loops: vec![],
+                        cold_tail: 3,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+                Some("select") => {
+                    let poll = fs.first().copied().unwrap_or(u.hashfn);
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot: 7,
+                        calls: vec![poll],
+                        loops: vec![LoopSpec {
+                            start: 2,
+                            end: 4,
+                            mean_iters: 4.0,
+                        }],
+                        cold_tail: 3,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+                Some("read" | "write") => {
+                    let data = if i % 2 == 0 {
+                        fs.get(9).copied()
+                    } else {
+                        fs.get(10).copied()
+                    };
+                    let mut calls = vec![u.bcopy];
+                    calls.extend(data);
+                    calls.extend(fs.get(2).copied());
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot: 9,
+                        calls,
+                        loops: vec![],
+                        cold_tail: 4,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+                Some("brk" | "sbrk" | "mmap" | "munmap") => {
+                    let mut calls: Vec<RoutineId> =
+                        vm.iter().skip(i % 3).step_by(4).take(2).copied().collect();
+                    if calls.is_empty() {
+                        calls.push(u.bzero);
+                    }
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot: 7,
+                        calls,
+                        loops: vec![],
+                        cold_tail: 3,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+                Some("execve") => {
+                    let mut calls: Vec<RoutineId> = Vec::new();
+                    calls.extend(fs.last().copied());
+                    calls.extend(fs.get(7).copied());
+                    calls.extend(vm.get(3).copied());
+                    calls.push(u.bzero);
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot: 12,
+                        calls,
+                        loops: vec![],
+                        cold_tail: 6,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+                _ => {
+                    // Generic file-flavoured handler: a couple of FS calls,
+                    // sometimes a path lookup, sometimes an I/O call, and
+                    // sometimes a small scanning loop (fd tables, name
+                    // buffers, ...).
+                    let hot = self.rng.gen_range(10..=20);
+                    let mut loops = Vec::new();
+                    if self.rng.gen_bool(0.4) {
+                        let start = self.rng.gen_range(0..hot - 3);
+                        let end = self.rng.gen_range(start..hot - 2);
+                        let mean = if self.rng.gen_bool(0.7) {
+                            self.rng.gen_range(1.5..7.0)
+                        } else {
+                            self.rng.gen_range(7.0..30.0)
+                        };
+                        loops.push(LoopSpec {
+                            start,
+                            end,
+                            mean_iters: mean,
+                        });
+                    }
+                    let mut calls = Vec::new();
+                    if !fs.is_empty() {
+                        let a = self.rng.gen_range(0..fs.len());
+                        calls.push(fs[a]);
+                        if self.rng.gen_bool(0.6) {
+                            let c = self.rng.gen_range(0..fs.len());
+                            calls.push(fs[c]);
+                        }
+                    }
+                    if self.rng.gen_bool(0.3) && !io.is_empty() {
+                        let c = self.rng.gen_range(0..io.len());
+                        calls.push(io[c]);
+                    }
+                    if self.rng.gen_bool(0.25) {
+                        calls.push(u.lock_acquire);
+                    }
+                    let cold_tail = self.rng.gen_range(3..=8);
+                    self.auto_chain(AutoChain {
+                        name,
+                        hot,
+                        calls,
+                        loops,
+                        cold_tail,
+                        fat: false,
+                        extra_detours: true,
+                    })
+                }
+            };
+            handlers.push(r);
+        }
+        handlers
+    }
+
+    // ----- service handlers -------------------------------------------------
+
+    fn build_interrupt_handlers(&mut self, u: &Utilities, io: &[RoutineId]) -> Vec<RoutineId> {
+        // The timer interrupt path and its software multiply/divide helpers
+        // are the paper's dominant conflict peak (Figure 1-b).
+        let push_hrtime = self.auto_chain(AutoChain {
+            name: "push_hrtime".into(),
+            hot: 6,
+            calls: vec![u.read_hrc, u.soft_mul, u.check_curtimer],
+            loops: vec![],
+            cold_tail: 2,
+            fat: false,
+            extra_detours: false,
+        });
+        let timer = self.auto_chain(AutoChain {
+            name: "timer_intr".into(),
+            hot: 10,
+            calls: vec![push_hrtime, u.soft_mul, u.soft_div, u.check_curtimer, u.update_hrtimer],
+            loops: vec![],
+            cold_tail: 3,
+            fat: false,
+            extra_detours: true,
+        });
+        let xproc = self.auto_chain(AutoChain {
+            name: "xproc_intr".into(),
+            hot: 9,
+            calls: vec![u.lock_acquire, u.tlb_invalidate, u.sched_wakeup, u.lock_release],
+            loops: vec![],
+            cold_tail: 3,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut io_calls = vec![u.sched_wakeup];
+        io_calls.extend(io.get(3).copied());
+        io_calls.extend(io.get(5).copied());
+        io_calls.extend(io.get(2).copied());
+        let io_intr = self.auto_chain(AutoChain {
+            name: "io_intr".into(),
+            hot: 11,
+            calls: io_calls,
+            loops: vec![],
+            cold_tail: 4,
+            fat: false,
+            extra_detours: true,
+        });
+        let sync = self.auto_chain(AutoChain {
+            name: "sync_intr".into(),
+            hot: 6,
+            calls: vec![u.lock_acquire, u.lock_release],
+            loops: vec![],
+            cold_tail: 2,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut disk_calls: Vec<RoutineId> = io.iter().take(4).copied().collect();
+        disk_calls.push(u.sched_wakeup);
+        let disk_intr = self.auto_chain(AutoChain {
+            name: "disk_intr".into(),
+            hot: 12,
+            calls: disk_calls,
+            loops: vec![],
+            cold_tail: 5,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut net_calls: Vec<RoutineId> = io.iter().skip(4).take(3).copied().collect();
+        net_calls.push(u.bcopy);
+        let net_intr = self.auto_chain(AutoChain {
+            name: "net_intr".into(),
+            hot: 12,
+            calls: net_calls,
+            loops: vec![],
+            cold_tail: 5,
+            fat: false,
+            extra_detours: true,
+        });
+        vec![timer, xproc, io_intr, sync, disk_intr, net_intr]
+    }
+
+    fn build_fault_handlers(
+        &mut self,
+        u: &Utilities,
+        vm: &[RoutineId],
+        io: &[RoutineId],
+    ) -> Vec<RoutineId> {
+        let pt_lookup = vm.first().copied().unwrap_or(u.hashfn);
+        let page_alloc = vm.get(1).copied().unwrap_or(u.bzero);
+        let tlb_fix = self.auto_chain(AutoChain {
+            name: "tlb_fix".into(),
+            hot: 7,
+            calls: vec![pt_lookup, u.tlb_invalidate],
+            loops: vec![],
+            cold_tail: 2,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut prot_calls = vec![pt_lookup];
+        prot_calls.extend(vm.get(7).copied());
+        prot_calls.extend(vm.get(5).copied());
+        let prot = self.auto_chain(AutoChain {
+            name: "prot_fault".into(),
+            hot: 10,
+            calls: prot_calls,
+            loops: vec![],
+            cold_tail: 4,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut dz_calls = vec![pt_lookup, page_alloc, u.tlb_invalidate];
+        dz_calls.extend(vm.get(3).copied());
+        let demand_zero = self.auto_chain(AutoChain {
+            name: "demand_zero".into(),
+            hot: 10,
+            calls: dz_calls,
+            loops: vec![],
+            cold_tail: 3,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut cow_calls = vec![pt_lookup, page_alloc, u.bcopy];
+        cow_calls.extend(vm.get(4).copied());
+        let cow_fault = self.auto_chain(AutoChain {
+            name: "cow_fault".into(),
+            hot: 11,
+            calls: cow_calls,
+            loops: vec![],
+            cold_tail: 4,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut swap_calls = vec![page_alloc];
+        swap_calls.extend(io.get(4).copied());
+        swap_calls.extend(io.get(5).copied());
+        swap_calls.extend(vm.get(8).copied());
+        let swap_in = self.auto_chain(AutoChain {
+            name: "swap_in".into(),
+            hot: 14,
+            calls: swap_calls,
+            loops: vec![],
+            cold_tail: 6,
+            fat: false,
+            extra_detours: true,
+        });
+        vec![tlb_fix, prot, demand_zero, cow_fault, swap_in]
+    }
+
+    fn build_other_handlers(&mut self, u: &Utilities, proc: &[RoutineId]) -> Vec<RoutineId> {
+        let sched_pick = proc.get(2).copied().unwrap_or(u.hashfn);
+        let swtch = self.auto_chain(AutoChain {
+            name: "swtch".into(),
+            hot: 9,
+            calls: vec![u.lock_acquire, sched_pick, u.state_save, u.state_restore],
+            loops: vec![],
+            cold_tail: 3,
+            fat: true,
+            extra_detours: true,
+        });
+        let idle = self.spec_chain(ChainSpec::new("idle_loop", 3).looped(1, 1, 2.5));
+        let sig = self.auto_chain(AutoChain {
+            name: "signal_deliver".into(),
+            hot: 10,
+            calls: vec![proc.get(6).copied().unwrap_or(u.sched_wakeup), u.bcopy],
+            loops: vec![],
+            cold_tail: 4,
+            fat: false,
+            extra_detours: true,
+        });
+        let mut preempt_calls = vec![u.lock_acquire];
+        preempt_calls.extend(proc.first().copied());
+        preempt_calls.extend(proc.get(1).copied());
+        preempt_calls.push(u.lock_release);
+        let preempt = self.auto_chain(AutoChain {
+            name: "preempt".into(),
+            hot: 8,
+            calls: preempt_calls,
+            loops: vec![],
+            cold_tail: 3,
+            fat: false,
+            extra_detours: true,
+        });
+        vec![swtch, idle, sig, preempt]
+    }
+
+    // ----- building blocks ---------------------------------------------------
+
+    /// Builds a routine from an explicit spec and interleaves cold bulk.
+    fn spec_chain(&mut self, spec: ChainSpec) -> RoutineId {
+        let r = build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, &spec);
+        self.cold_tick();
+        r
+    }
+
+    /// Builds a generic subsystem routine with random decoration.
+    ///
+    /// Half of all subsystem routines bracket their work with the spin
+    /// lock pair — the paper's hottest routines are exactly such tiny,
+    /// constantly-reinvoked utilities (lock handling, timer reads, state
+    /// save/restore), and this is what produces the extreme basic-block
+    /// invocation skew of Figure 8.
+    fn subsystem_routine(
+        &mut self,
+        name: String,
+        pool: &[RoutineId],
+        locks: (RoutineId, RoutineId),
+        loop_prob: f64,
+    ) -> RoutineId {
+        let hot = self.rng.gen_range(8..=18);
+        let mut calls = Vec::new();
+        let take_locks = self.rng.gen_bool(0.5);
+        if take_locks {
+            calls.push(locks.0);
+        }
+        let n_calls = self.rng.gen_range(0..=3.min(pool.len()));
+        for _ in 0..n_calls {
+            let i = self.rng.gen_range(0..pool.len());
+            calls.push(pool[i]);
+        }
+        if take_locks {
+            calls.push(locks.1);
+        }
+        let mut loops = Vec::new();
+        if self.rng.gen_bool(loop_prob) && hot >= 4 {
+            let start = self.rng.gen_range(0..hot - 2);
+            let end = self.rng.gen_range(start..hot - 1);
+            // Mostly shallow loops; occasionally a scanning loop.
+            let mean = if self.rng.gen_bool(0.75) {
+                self.rng.gen_range(1.5..7.0)
+            } else {
+                self.rng.gen_range(7.0..40.0)
+            };
+            loops.push(LoopSpec {
+                start,
+                end,
+                mean_iters: mean,
+            });
+        }
+        let cold_tail = self.rng.gen_range(2..=8);
+        self.auto_chain(AutoChain {
+            name,
+            hot,
+            calls,
+            loops,
+            cold_tail,
+            fat: false,
+            extra_detours: true,
+        })
+    }
+
+    /// Rarely-invoked helper routines, reachable only through cold detours.
+    fn build_rare_helpers(&mut self, prefix: &str, count: usize, callees: &[RoutineId]) {
+        for i in 0..count {
+            let hot = self.rng.gen_range(8..=16);
+            let mut calls = Vec::new();
+            if !callees.is_empty() && self.rng.gen_bool(0.4) {
+                let c = self.rng.gen_range(0..callees.len());
+                calls.push(callees[c]);
+            }
+            let cold_tail = self.rng.gen_range(2..=6);
+            let r = self.auto_chain(AutoChain {
+                name: format!("{prefix}_rare{i}"),
+                hot,
+                calls,
+                loops: vec![],
+                cold_tail,
+                fat: false,
+                extra_detours: false,
+            });
+            self.rare_pool.push(r);
+        }
+    }
+
+    /// Random decoration + chain materialization + cold interleave.
+    fn auto_chain(&mut self, ac: AutoChain) -> RoutineId {
+        let mut spec = ChainSpec::new(ac.name, ac.hot);
+        spec.cold_tail = ac.cold_tail;
+        if ac.fat {
+            spec = spec.fat();
+        }
+        let mut occupied = vec![false; ac.hot];
+        for l in &ac.loops {
+            occupied[l.end] = true;
+            spec.loops.push(l.clone());
+        }
+        // Spread explicit calls across free positions, left to right.
+        let free: Vec<usize> = (0..ac.hot).filter(|&i| !occupied[i]).collect();
+        let n = ac.calls.len();
+        assert!(n <= free.len(), "too many calls for chain length");
+        for (i, callee) in ac.calls.iter().enumerate() {
+            let pos = free[(i * free.len()) / n.max(1)];
+            occupied[pos] = true;
+            spec = spec.call(pos, *callee);
+        }
+        if ac.extra_detours {
+            #[allow(clippy::needless_range_loop)] // pos is a chain position
+            for pos in 0..ac.hot {
+                if occupied[pos] {
+                    continue;
+                }
+                if self.rng.gen_bool(self.p.cold_detour_rate) {
+                    let body = if !self.rare_pool.is_empty() && self.rng.gen_bool(0.45) {
+                        let i = self.rng.gen_range(0..self.rare_pool.len());
+                        DetourBody::Call(self.rare_pool[i])
+                    } else {
+                        DetourBody::Plain
+                    };
+                    spec = spec.detour(Detour {
+                        pos,
+                        enter_prob: self.p.cold_enter_prob * self.rng.gen_range(0.5..2.0),
+                        body,
+                        to_tail: ac.cold_tail > 0 && self.rng.gen_bool(0.5),
+                    });
+                } else if self.rng.gen_bool(self.p.warm_detour_rate) {
+                    spec = spec.detour(Detour {
+                        pos,
+                        enter_prob: self.rng.gen_range(0.08..0.35),
+                        body: DetourBody::Plain,
+                        to_tail: false,
+                    });
+                }
+            }
+        }
+        self.spec_chain(spec)
+    }
+
+    /// Builds a seed service: entry stub, prologue calls, a
+    /// workload-controlled dispatch over handler stubs, epilogue calls.
+    fn dispatch_service(
+        &mut self,
+        name: &str,
+        pre: &[RoutineId],
+        handlers: &[RoutineId],
+        post: &[RoutineId],
+        table: DispatchId,
+    ) -> RoutineId {
+        assert!(!handlers.is_empty(), "dispatch service needs handlers");
+        let routine = self.b.begin_routine(name);
+        let entry = self.b.add_block(2 * self.sizes.sample(&mut self.rng));
+        let pre_blocks: Vec<BlockId> = pre
+            .iter()
+            .map(|_| self.b.add_block(self.sizes.sample(&mut self.rng)))
+            .collect();
+        let dispatch = self.b.add_block(self.sizes.sample(&mut self.rng));
+        let stubs: Vec<BlockId> = handlers
+            .iter()
+            .map(|_| self.b.add_block(8))
+            .collect();
+        let join = self.b.add_block(self.sizes.sample(&mut self.rng));
+        let post_blocks: Vec<BlockId> = post
+            .iter()
+            .map(|_| self.b.add_block(self.sizes.sample(&mut self.rng)))
+            .collect();
+        let ret = self.b.add_block(8);
+
+        let after_entry = pre_blocks.first().copied().unwrap_or(dispatch);
+        self.b.terminate(entry, Terminator::Jump(after_entry));
+        for (i, (&blk, &callee)) in pre_blocks.iter().zip(pre).enumerate() {
+            let next = pre_blocks.get(i + 1).copied().unwrap_or(dispatch);
+            self.b.terminate(
+                blk,
+                Terminator::Call {
+                    callee,
+                    ret_to: next,
+                },
+            );
+        }
+        self.b.terminate(
+            dispatch,
+            Terminator::Dispatch {
+                table,
+                targets: stubs.clone(),
+            },
+        );
+        for (&stub, &handler) in stubs.iter().zip(handlers) {
+            self.b.terminate(
+                stub,
+                Terminator::Call {
+                    callee: handler,
+                    ret_to: join,
+                },
+            );
+        }
+        let after_join = post_blocks.first().copied().unwrap_or(ret);
+        self.b.terminate(join, Terminator::Jump(after_join));
+        for (i, (&blk, &callee)) in post_blocks.iter().zip(post).enumerate() {
+            let next = post_blocks.get(i + 1).copied().unwrap_or(ret);
+            self.b.terminate(
+                blk,
+                Terminator::Call {
+                    callee,
+                    ret_to: next,
+                },
+            );
+        }
+        self.b.terminate(ret, Terminator::Return);
+        self.b.end_routine();
+        self.cold_tick();
+        routine
+    }
+
+    // ----- cold bulk ----------------------------------------------------------
+
+    fn cold_tick(&mut self) {
+        self.cold_acc += self.cold_per_hot;
+        while self.cold_acc >= 1.0 && self.cold_remaining > 0 {
+            self.cold_acc -= 1.0;
+            self.emit_cold_routine();
+        }
+    }
+
+    fn drain_cold(&mut self) {
+        while self.cold_remaining > 0 {
+            self.emit_cold_routine();
+        }
+    }
+
+    fn emit_cold_routine(&mut self) {
+        self.cold_remaining -= 1;
+        let subsystem = COLD_SUBSYSTEMS[self.cold_counter % COLD_SUBSYSTEMS.len()];
+        let name = format!("{}_case{}", subsystem, self.cold_counter);
+        self.cold_counter += 1;
+        let mean = self.p.cold_routine_blocks.max(2);
+        let hot = self.rng.gen_range((mean / 2).max(2)..=mean * 2);
+        let spec = ChainSpec::new(name, hot).cold_tail(self.rng.gen_range(0..=4));
+        let _ = build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, &spec);
+    }
+}
+
+/// Parameters for [`Generator::auto_chain`].
+struct AutoChain {
+    name: String,
+    hot: usize,
+    calls: Vec<RoutineId>,
+    loops: Vec<LoopSpec>,
+    cold_tail: usize,
+    fat: bool,
+    extra_detours: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{KernelParams, Scale};
+
+    fn tiny() -> SyntheticKernel {
+        generate_kernel(&KernelParams::at_scale(Scale::Tiny, 42))
+    }
+
+    #[test]
+    fn tiny_kernel_builds_with_all_seeds() {
+        let k = tiny();
+        for kind in SeedKind::ALL {
+            assert!(k.program.seed(kind).is_some(), "missing {kind} seed");
+        }
+    }
+
+    #[test]
+    fn kernel_generation_is_deterministic() {
+        let a = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 7));
+        let b = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 7));
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 7));
+        let b = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 8));
+        assert_ne!(a.program, b.program);
+    }
+
+    #[test]
+    fn dispatch_tables_have_positive_arity() {
+        let k = tiny();
+        assert!(k.tables.interrupt_arity >= 3);
+        assert!(k.tables.fault_arity >= 3);
+        assert!(k.tables.syscall_arity >= 3);
+        assert!(k.tables.other_arity >= 2);
+        assert_eq!(k.program.num_dispatch_tables(), 4);
+    }
+
+    #[test]
+    fn arity_lookup_by_table_id() {
+        let k = tiny();
+        assert_eq!(
+            k.tables.arity(k.tables.syscall),
+            Some(k.tables.syscall_arity)
+        );
+    }
+
+    #[test]
+    fn named_conflict_routines_exist() {
+        let k = tiny();
+        for name in [
+            "timer_intr",
+            "soft_mul",
+            "soft_div",
+            "usr_sys_trans",
+            "sc_entry",
+            "read_hrc",
+            "check_curtimer",
+            "update_hrtimer",
+        ] {
+            assert!(
+                k.program.routine_by_name(name).is_some(),
+                "routine {name} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_kernel_matches_reported_shape() {
+        let k = generate_kernel(&KernelParams::default());
+        let total = k.program.total_size();
+        // Paper: ~930 KB kernel; accept a generous band.
+        assert!(
+            (700_000..1_300_000).contains(&total),
+            "kernel size {total} out of band"
+        );
+        // Paper: ~2300 routines, ~8500 executed BBs out of far more total.
+        assert!(k.program.num_routines() > 1500);
+        assert!(k.program.num_blocks() > 25_000);
+        let mean = k.program.mean_block_size();
+        assert!((17.0..26.0).contains(&mean), "mean block size {mean}");
+    }
+
+    #[test]
+    fn cold_bulk_dominates_static_size() {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Small, 42));
+        let mut cold_bytes = 0_u64;
+        let mut total = 0_u64;
+        for r in k.program.routines() {
+            let bytes: u64 = r
+                .blocks()
+                .iter()
+                .map(|&b| u64::from(k.program.block(b).size()))
+                .sum();
+            total += bytes;
+            if r.name().contains("_case") {
+                cold_bytes += bytes;
+            }
+        }
+        assert!(
+            cold_bytes * 2 > total,
+            "cold bulk should be at least half the kernel ({cold_bytes}/{total})"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic kernel and application generators.
+//!
+//! The original study measured a proprietary system — Concentrix 3.0 (a
+//! BSD 4.2-derived multiprocessor Unix) on a 4-CPU Alliant FX/8 — with a
+//! hardware performance monitor. Neither the kernel image nor the traces are
+//! obtainable, so this module generates a *synthetic* kernel and synthetic
+//! applications whose measured statistics reproduce the paper's
+//! characterization (Section 3):
+//!
+//! * **footprint skew** — the bulk of the kernel is rarely- or
+//!   never-executed special-case code; each workload touches only a few
+//!   percent of it (Table 1);
+//! * **bimodal arc determinism** — most control transfers are taken with
+//!   probability ≥ 0.99 or ≤ 0.01 (Figure 3);
+//! * **shallow loops** — call-free loops are small (≤ 300 bytes) and
+//!   iterate little (50% ≤ 6 iterations); call-bearing loops iterate ≤ 10
+//!   times but span kilobytes of callees (Figures 4 and 5);
+//! * **temporal skew** — a handful of tiny routines (locks, timer reads,
+//!   state save/restore, TLB shootdown, block zeroing) absorb most
+//!   invocations (Figures 6–8);
+//! * **named conflict pairs** — the synthetic kernel contains the actual
+//!   routine families behind the paper's two dominant miss peaks: the timer
+//!   interrupt path with its software multiply/divide helpers, and the
+//!   user/system transition code with the system-call prologue.
+//!
+//! The generator only *shapes* the program; every probability it embeds is
+//! hidden from the optimization pipeline, which consumes measured profiles
+//! exclusively.
+
+mod app;
+mod kernel;
+mod params;
+mod shape;
+
+pub use app::{generate_app, generate_app_mix, AppKind, AppParams};
+pub use kernel::{generate_kernel, DispatchTables, SyntheticKernel};
+pub use params::{BlockSizeDist, KernelParams, Scale};

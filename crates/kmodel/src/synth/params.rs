@@ -1,0 +1,230 @@
+//! Calibration parameters for the synthetic generators.
+
+use rand::Rng;
+
+/// Overall size class of a generated kernel.
+///
+/// `Paper` matches the scale of the Concentrix 3.0 kernel studied in the
+/// paper (≈ 930 KB of code, ≈ 2,300 routines, ≈ 44,000 basic blocks, of
+/// which a given workload executes 3–13%). The smaller scales keep unit
+/// tests and Criterion benches fast while preserving every structural
+/// property.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Scale {
+    /// A few tens of kilobytes; for unit tests.
+    Tiny,
+    /// Roughly 150 KB; for integration tests and benches.
+    Small,
+    /// Full paper scale (≈ 930 KB kernel).
+    Paper,
+}
+
+/// Parameters of the synthetic kernel generator.
+///
+/// The defaults (via [`KernelParams::at_scale`]) are calibrated so that the
+/// *measured* statistics of the generated kernel under the four standard
+/// workloads land in the ranges the paper reports; `EXPERIMENTS.md` records
+/// the comparison.
+#[derive(Clone, Debug)]
+pub struct KernelParams {
+    /// RNG seed; the same seed always yields bit-identical kernels.
+    pub seed: u64,
+    /// Number of system-call handler routines hanging off the dispatcher.
+    pub num_syscalls: usize,
+    /// Number of never-invoked special-case routines (the cold bulk).
+    pub num_cold_routines: usize,
+    /// Mean number of blocks per cold routine.
+    pub cold_routine_blocks: usize,
+    /// Number of file-system subsystem routines callable from handlers.
+    pub num_fs_routines: usize,
+    /// Number of virtual-memory subsystem routines.
+    pub num_vm_routines: usize,
+    /// Number of process-management subsystem routines.
+    pub num_proc_routines: usize,
+    /// Number of buffer-cache / device-I/O routines.
+    pub num_io_routines: usize,
+    /// Probability that a hot block grows an inline cold detour
+    /// (special-case code the common path branches around).
+    pub cold_detour_rate: f64,
+    /// Probability of *entering* a cold detour when one exists.
+    pub cold_enter_prob: f64,
+    /// Probability that a hot block grows a warm diamond (a genuinely
+    /// data-dependent two-way decision).
+    pub warm_detour_rate: f64,
+    /// Block-size distribution.
+    pub sizes: BlockSizeDist,
+}
+
+impl KernelParams {
+    /// Calibrated parameters for a given scale with the given seed.
+    #[must_use]
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let base = Self {
+            seed,
+            num_syscalls: 36,
+            num_cold_routines: 1950,
+            cold_routine_blocks: 11,
+            num_fs_routines: 72,
+            num_vm_routines: 42,
+            num_proc_routines: 32,
+            num_io_routines: 36,
+            cold_detour_rate: 0.35,
+            cold_enter_prob: 0.004,
+            warm_detour_rate: 0.18,
+            sizes: BlockSizeDist::paper(),
+        };
+        match scale {
+            Scale::Paper => base,
+            Scale::Small => Self {
+                num_syscalls: 16,
+                num_cold_routines: 300,
+                cold_routine_blocks: 12,
+                num_fs_routines: 30,
+                num_vm_routines: 18,
+                num_proc_routines: 14,
+                num_io_routines: 16,
+                ..base
+            },
+            Scale::Tiny => Self {
+                num_syscalls: 6,
+                num_cold_routines: 40,
+                cold_routine_blocks: 8,
+                num_fs_routines: 6,
+                num_vm_routines: 4,
+                num_proc_routines: 3,
+                num_io_routines: 3,
+                ..base
+            },
+        }
+    }
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        Self::at_scale(Scale::Paper, 0x05_1995)
+    }
+}
+
+/// Discrete distribution of basic-block sizes in bytes.
+///
+/// The paper reports an average block size of 21.3 bytes (Motorola 68020
+/// style code); [`BlockSizeDist::paper`] is calibrated to that mean.
+#[derive(Clone, Debug)]
+pub struct BlockSizeDist {
+    sizes: Vec<u32>,
+    cumulative: Vec<u32>,
+    total: u32,
+}
+
+impl BlockSizeDist {
+    /// Builds a distribution from `(size_bytes, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or all weights are zero.
+    #[must_use]
+    pub fn new(entries: &[(u32, u32)]) -> Self {
+        assert!(!entries.is_empty(), "size distribution must be nonempty");
+        let mut sizes = Vec::with_capacity(entries.len());
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut total = 0;
+        for &(size, weight) in entries {
+            total += weight;
+            sizes.push(size);
+            cumulative.push(total);
+        }
+        assert!(total > 0, "size distribution needs positive total weight");
+        Self {
+            sizes,
+            cumulative,
+            total,
+        }
+    }
+
+    /// Distribution calibrated to the paper's 21.3-byte average block.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(&[
+            (6, 4),
+            (8, 8),
+            (10, 9),
+            (12, 10),
+            (16, 12),
+            (20, 11),
+            (24, 10),
+            (28, 8),
+            (32, 7),
+            (40, 5),
+            (48, 4),
+            (64, 2),
+        ])
+    }
+
+    /// Samples one block size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let x = rng.gen_range(0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.sizes[idx]
+    }
+
+    /// The exact mean of the distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0;
+        let mut acc = 0.0;
+        for (&size, &cum) in self.sizes.iter().zip(&self.cumulative) {
+            acc += f64::from(size) * f64::from(cum - prev);
+            prev = cum;
+        }
+        acc / f64::from(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_distribution_mean_is_close_to_21_3() {
+        let mean = BlockSizeDist::paper().mean();
+        assert!((19.0..24.0).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn sample_is_always_a_listed_size() {
+        let dist = BlockSizeDist::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = dist.sample(&mut rng);
+            assert!(dist.sizes.contains(&s));
+        }
+    }
+
+    #[test]
+    fn empirical_mean_tracks_exact_mean() {
+        let dist = BlockSizeDist::paper();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| u64::from(dist.sample(&mut rng))).sum();
+        let emp = sum as f64 / n as f64;
+        assert!((emp - dist.mean()).abs() < 0.2, "empirical {emp}");
+    }
+
+    #[test]
+    fn scales_shrink_monotonically() {
+        let paper = KernelParams::at_scale(Scale::Paper, 0);
+        let small = KernelParams::at_scale(Scale::Small, 0);
+        let tiny = KernelParams::at_scale(Scale::Tiny, 0);
+        assert!(paper.num_cold_routines > small.num_cold_routines);
+        assert!(small.num_cold_routines > tiny.num_cold_routines);
+        assert!(paper.num_syscalls > tiny.num_syscalls);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_distribution_panics() {
+        let _ = BlockSizeDist::new(&[]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Routine shape templates.
+//!
+//! Almost every synthetic routine is an instance of [`ChainSpec`]: a hot
+//! main path of basic blocks decorated with
+//!
+//! * **calls** on the main path,
+//! * **detours** — inline side blocks the main path branches around, either
+//!   *cold* (rarely-entered special-case code, entry probability ≈ 0.002–0.01)
+//!   or *warm* (real data-dependent diamonds, entry probability ≈ 0.1–0.35),
+//!   optionally containing a call or escaping to the routine's cold tail,
+//! * **loops** — geometric back-edges over a segment of the main path, and
+//! * a **cold tail** of error/cleanup blocks reachable only from detours.
+//!
+//! In source order, detour blocks sit *between* the hot blocks, which is
+//! exactly the property the paper identifies as destroying the spatial
+//! locality of the unoptimized kernel ("rarely-executed special-case code
+//! disrupts spatial locality").
+
+use rand::rngs::StdRng;
+
+
+use crate::{BlockId, BranchTarget, ProgramBuilder, RoutineId, Terminator};
+
+use super::params::BlockSizeDist;
+
+/// A geometric loop over a segment of the main path.
+#[derive(Clone, Debug)]
+pub(crate) struct LoopSpec {
+    /// Main-path position of the loop head (0-based).
+    pub start: usize,
+    /// Main-path position of the block carrying the back-edge
+    /// (`end >= start`).
+    pub end: usize,
+    /// Mean iterations per invocation (must be > 1). The back-edge is taken
+    /// with probability `1 - 1/mean_iters`, giving geometrically distributed
+    /// iteration counts, which matches the shallow-loop histograms of the
+    /// paper's Figures 4 and 5.
+    pub mean_iters: f64,
+}
+
+/// What a detour block does.
+#[derive(Clone, Debug)]
+pub(crate) enum DetourBody {
+    /// Plain side computation; rejoins the main path.
+    Plain,
+    /// Calls a routine, then rejoins the main path.
+    Call(RoutineId),
+}
+
+/// An inline side block following main-path position `pos`.
+#[derive(Clone, Debug)]
+pub(crate) struct Detour {
+    /// Main-path position after which the detour block sits.
+    pub pos: usize,
+    /// Probability that execution enters the detour.
+    pub enter_prob: f64,
+    /// Detour contents.
+    pub body: DetourBody,
+    /// If true (and the routine has a cold tail) the detour exits to the
+    /// cold tail instead of rejoining the main path.
+    pub to_tail: bool,
+}
+
+/// A call on the main path at a given position.
+#[derive(Clone, Debug)]
+pub(crate) struct CallSite {
+    /// Main-path position of the calling block.
+    pub pos: usize,
+    /// The routine called.
+    pub callee: RoutineId,
+}
+
+/// Full description of a chain-shaped routine.
+#[derive(Clone, Debug)]
+pub(crate) struct ChainSpec {
+    pub name: String,
+    /// Number of hot main-path blocks (≥ 1). A return block is always
+    /// appended after the last one.
+    pub hot: usize,
+    pub calls: Vec<CallSite>,
+    pub detours: Vec<Detour>,
+    pub loops: Vec<LoopSpec>,
+    /// Number of cold-tail blocks.
+    pub cold_tail: usize,
+    /// Block-size multiplier (register-save style code uses 2).
+    pub size_mul: u32,
+}
+
+impl ChainSpec {
+    pub(crate) fn new(name: impl Into<String>, hot: usize) -> Self {
+        Self {
+            name: name.into(),
+            hot,
+            calls: Vec::new(),
+            detours: Vec::new(),
+            loops: Vec::new(),
+            cold_tail: 0,
+            size_mul: 1,
+        }
+    }
+
+    pub(crate) fn call(mut self, pos: usize, callee: RoutineId) -> Self {
+        self.calls.push(CallSite { pos, callee });
+        self
+    }
+
+    pub(crate) fn detour(mut self, d: Detour) -> Self {
+        self.detours.push(d);
+        self
+    }
+
+    pub(crate) fn looped(mut self, start: usize, end: usize, mean_iters: f64) -> Self {
+        self.loops.push(LoopSpec {
+            start,
+            end,
+            mean_iters,
+        });
+        self
+    }
+
+    pub(crate) fn cold_tail(mut self, n: usize) -> Self {
+        self.cold_tail = n;
+        self
+    }
+
+    pub(crate) fn fat(mut self) -> Self {
+        self.size_mul = 2;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.hot >= 1, "{}: empty main path", self.name);
+        let mut used = vec![false; self.hot];
+        let mut claim = |pos: usize, what: &str| {
+            assert!(pos < self.hot, "{}: {what} position {pos} out of range", self.name);
+            assert!(!used[pos], "{}: conflicting roles at position {pos}", self.name);
+            used[pos] = true;
+        };
+        for c in &self.calls {
+            claim(c.pos, "call");
+        }
+        for l in &self.loops {
+            assert!(l.start <= l.end, "{}: inverted loop", self.name);
+            assert!(l.mean_iters > 1.0, "{}: loop mean must exceed 1", self.name);
+            claim(l.end, "loop back-edge");
+        }
+        for d in &self.detours {
+            claim(d.pos, "detour");
+            assert!(
+                d.enter_prob > 0.0 && d.enter_prob < 1.0,
+                "{}: detour probability {} out of (0,1)",
+                self.name,
+                d.enter_prob
+            );
+        }
+    }
+}
+
+/// Materializes a [`ChainSpec`] into the builder. Returns the new routine.
+pub(crate) fn build_chain_routine(
+    b: &mut ProgramBuilder,
+    rng: &mut StdRng,
+    sizes: &BlockSizeDist,
+    spec: &ChainSpec,
+) -> RoutineId {
+    spec.validate();
+    let routine = b.begin_routine(spec.name.clone());
+    let sample = |rng: &mut StdRng| sizes.sample(rng) * spec.size_mul;
+
+    // Create blocks in source order: hot[i] followed by its detour block.
+    let mut hot = Vec::with_capacity(spec.hot + 1);
+    let mut detour_blocks: Vec<Option<BlockId>> = vec![None; spec.hot];
+    #[allow(clippy::needless_range_loop)] // pos is a chain position
+    for pos in 0..spec.hot {
+        hot.push(b.add_block(sample(rng)));
+        if let Some(d) = spec.detours.iter().find(|d| d.pos == pos) {
+            let _ = d;
+            detour_blocks[pos] = Some(b.add_block(sample(rng)));
+        }
+    }
+    // Implicit epilogue/return block.
+    let ret = b.add_block(sample(rng).clamp(4, 12));
+    hot.push(ret);
+    b.terminate(ret, Terminator::Return);
+
+    // Cold tail chain.
+    let mut tail = Vec::with_capacity(spec.cold_tail);
+    for i in 0..spec.cold_tail {
+        let blk = if i == 0 {
+            b.add_block_no_fallthrough(sample(rng))
+        } else {
+            b.add_block(sample(rng))
+        };
+        tail.push(blk);
+    }
+    for (i, &blk) in tail.iter().enumerate() {
+        if i + 1 < tail.len() {
+            b.terminate(blk, Terminator::Jump(tail[i + 1]));
+        } else {
+            b.terminate(blk, Terminator::Return);
+        }
+    }
+
+    // Wire the main path.
+    for pos in 0..spec.hot {
+        let this = hot[pos];
+        let next = hot[pos + 1];
+        if let Some(call) = spec.calls.iter().find(|c| c.pos == pos) {
+            b.terminate(
+                this,
+                Terminator::Call {
+                    callee: call.callee,
+                    ret_to: next,
+                },
+            );
+        } else if let Some(l) = spec.loops.iter().find(|l| l.end == pos) {
+            let p_back = 1.0 - 1.0 / l.mean_iters;
+            b.terminate(
+                this,
+                Terminator::branch([
+                    BranchTarget::new(hot[l.start], p_back),
+                    BranchTarget::new(next, 1.0 - p_back),
+                ]),
+            );
+        } else if let Some(d) = spec.detours.iter().find(|d| d.pos == pos) {
+            let side = detour_blocks[pos].expect("detour block created");
+            b.terminate(
+                this,
+                Terminator::branch([
+                    BranchTarget::new(next, 1.0 - d.enter_prob),
+                    BranchTarget::new(side, d.enter_prob),
+                ]),
+            );
+            let rejoin = if d.to_tail && !tail.is_empty() {
+                tail[0]
+            } else {
+                next
+            };
+            match d.body {
+                DetourBody::Plain => b.terminate(side, Terminator::Jump(rejoin)),
+                DetourBody::Call(callee) => b.terminate(
+                    side,
+                    Terminator::Call {
+                        callee,
+                        ret_to: rejoin,
+                    },
+                ),
+            }
+        } else {
+            b.terminate(this, Terminator::Jump(next));
+        }
+    }
+
+    b.end_routine();
+    routine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, SeedKind};
+    use rand::SeedableRng;
+
+    fn build(spec: ChainSpec) -> crate::Program {
+        let mut b = ProgramBuilder::new(Domain::Os);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sizes = BlockSizeDist::paper();
+        let r = build_chain_routine(&mut b, &mut rng, &sizes, &spec);
+        for kind in SeedKind::ALL {
+            b.set_seed(kind, r);
+        }
+        b.build().expect("chain routine validates")
+    }
+
+    #[test]
+    fn plain_chain_has_hot_plus_return_blocks() {
+        let p = build(ChainSpec::new("f", 4));
+        assert_eq!(p.num_blocks(), 5);
+    }
+
+    #[test]
+    fn detour_adds_inline_block_between_hot_blocks() {
+        let p = build(ChainSpec::new("f", 3).detour(Detour {
+            pos: 1,
+            enter_prob: 0.01,
+            body: DetourBody::Plain,
+            to_tail: false,
+        }));
+        // 3 hot + 1 detour + 1 return.
+        assert_eq!(p.num_blocks(), 5);
+        let r = p.routine_by_name("f").unwrap();
+        // Source order: hot0, hot1, detour, hot2, ret — detour inline.
+        assert_eq!(r.num_blocks(), 5);
+    }
+
+    #[test]
+    fn loop_back_edge_probability_matches_mean() {
+        let p = build(ChainSpec::new("f", 3).looped(0, 1, 5.0));
+        let r = p.routine_by_name("f").unwrap();
+        let back_src = r.blocks()[1];
+        match p.block(back_src).terminator() {
+            Terminator::Branch(targets) => {
+                let back = targets.iter().find(|t| t.dst == r.blocks()[0]).unwrap();
+                assert!((back.prob - 0.8).abs() < 1e-9);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_tail_blocks_return() {
+        let p = build(
+            ChainSpec::new("f", 2)
+                .cold_tail(3)
+                .detour(Detour {
+                    pos: 0,
+                    enter_prob: 0.005,
+                    body: DetourBody::Plain,
+                    to_tail: true,
+                }),
+        );
+        // 2 hot + 1 detour + 1 ret + 3 tail.
+        assert_eq!(p.num_blocks(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting roles")]
+    fn conflicting_roles_panic() {
+        let spec = ChainSpec::new("f", 3)
+            .looped(0, 1, 4.0)
+            .detour(Detour {
+                pos: 1,
+                enter_prob: 0.1,
+                body: DetourBody::Plain,
+                to_tail: false,
+            });
+        let _ = build(spec);
+    }
+
+    #[test]
+    fn call_site_targets_next_hot_block() {
+        let mut b = ProgramBuilder::new(Domain::Os);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sizes = BlockSizeDist::paper();
+        let callee = build_chain_routine(&mut b, &mut rng, &sizes, &ChainSpec::new("g", 2));
+        let spec = ChainSpec::new("f", 3).call(1, callee);
+        let f = build_chain_routine(&mut b, &mut rng, &sizes, &spec);
+        for kind in SeedKind::ALL {
+            b.set_seed(kind, f);
+        }
+        let p = b.build().unwrap();
+        let r = p.routine_by_name("f").unwrap();
+        match p.block(r.blocks()[1]).terminator() {
+            Terminator::Call { callee: c, ret_to } => {
+                assert_eq!(*c, callee);
+                assert_eq!(*ret_to, r.blocks()[2]);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

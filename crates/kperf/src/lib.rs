@@ -1,0 +1,143 @@
+//! The paper's simple execution-time model (Section 5.2, Figure 15-b).
+//!
+//! "To get a very rough idea of how these miss rate reductions might
+//! translate into execution speed increases, we consider a machine where
+//! references take 1 cycle, miss penalties are 10, 30, or 50 cycles,
+//! respectively, data references are 30% the number of instruction
+//! references, the data miss rate is 5%, and we neglect any slowdown due
+//! to I/O activity." A 50-cycle instruction-miss penalty is comparable to
+//! a 2-cluster DASH, where the kernel resides in one cluster only.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// The simple machine model.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct ExecTimeModel {
+    /// Cycles lost per instruction-cache miss.
+    pub miss_penalty: f64,
+    /// Data references as a fraction of instruction references (0.3).
+    pub data_ref_ratio: f64,
+    /// Data-cache miss rate (0.05).
+    pub data_miss_rate: f64,
+    /// Cycles lost per data-cache miss (same as the instruction penalty in
+    /// the paper's model).
+    pub data_miss_penalty: f64,
+}
+
+impl ExecTimeModel {
+    /// The paper's model with a given instruction-miss penalty (10, 30 or
+    /// 50 cycles).
+    #[must_use]
+    pub fn paper(miss_penalty: f64) -> Self {
+        Self {
+            miss_penalty,
+            data_ref_ratio: 0.3,
+            data_miss_rate: 0.05,
+            data_miss_penalty: miss_penalty,
+        }
+    }
+
+    /// The three penalties the paper sweeps.
+    pub const PAPER_PENALTIES: [f64; 3] = [10.0, 30.0, 50.0];
+
+    /// Execution cycles per instruction reference for a given
+    /// instruction-cache miss rate.
+    #[must_use]
+    pub fn cycles_per_instruction(&self, imiss_rate: f64) -> f64 {
+        let instruction = 1.0 + self.miss_penalty * imiss_rate;
+        let data =
+            self.data_ref_ratio * (1.0 + self.data_miss_penalty * self.data_miss_rate);
+        instruction + data
+    }
+
+    /// Estimated speedup of a layout with miss rate `optimized` over one
+    /// with miss rate `base` (> 1 means faster).
+    #[must_use]
+    pub fn speedup(&self, base: f64, optimized: f64) -> f64 {
+        self.cycles_per_instruction(base) / self.cycles_per_instruction(optimized)
+    }
+
+    /// Execution-time reduction as a percentage (the paper reports
+    /// "execution time reductions in the order of 10-25%").
+    #[must_use]
+    pub fn time_reduction_percent(&self, base: f64, optimized: f64) -> f64 {
+        (1.0 - self.cycles_per_instruction(optimized) / self.cycles_per_instruction(base))
+            * 100.0
+    }
+}
+
+impl Default for ExecTimeModel {
+    fn default() -> Self {
+        Self::paper(30.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_miss_rate_gives_base_cpi() {
+        let m = ExecTimeModel::paper(30.0);
+        // 1 (instr) + 0.3 * (1 + 30*0.05) = 1 + 0.3*2.5 = 1.75
+        assert!((m.cycles_per_instruction(0.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_miss_rate_costs_more() {
+        let m = ExecTimeModel::paper(30.0);
+        assert!(m.cycles_per_instruction(0.05) > m.cycles_per_instruction(0.01));
+    }
+
+    #[test]
+    fn speedup_matches_paper_magnitudes() {
+        // The paper's headline: a few-percent miss-rate reduction at a
+        // 30-cycle penalty yields execution-time reductions of 10-25%.
+        let m = ExecTimeModel::paper(30.0);
+        // e.g. 6.75% → 3.0% miss rate:
+        let red = m.time_reduction_percent(0.0675, 0.03);
+        assert!((10.0..35.0).contains(&red), "reduction {red}%");
+    }
+
+    #[test]
+    fn equal_rates_give_unity_speedup() {
+        let m = ExecTimeModel::paper(50.0);
+        assert!((m.speedup(0.02, 0.02) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_penalty_amplifies_gain() {
+        let gain = |p: f64| ExecTimeModel::paper(p).speedup(0.05, 0.01);
+        assert!(gain(50.0) > gain(30.0));
+        assert!(gain(30.0) > gain(10.0));
+    }
+
+    proptest! {
+        #[test]
+        fn speedup_is_monotone_in_optimized_rate(
+            base in 0.0f64..0.2,
+            a in 0.0f64..0.2,
+            b in 0.0f64..0.2,
+        ) {
+            let m = ExecTimeModel::paper(30.0);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(m.speedup(base, lo) >= m.speedup(base, hi));
+        }
+
+        #[test]
+        fn time_reduction_sign_matches_improvement(
+            base in 0.001f64..0.2,
+            opt in 0.0f64..0.2,
+        ) {
+            let m = ExecTimeModel::paper(10.0);
+            let red = m.time_reduction_percent(base, opt);
+            if opt < base {
+                prop_assert!(red > 0.0);
+            } else if opt > base {
+                prop_assert!(red < 0.0);
+            }
+        }
+    }
+}

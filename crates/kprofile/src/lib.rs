@@ -1,0 +1,28 @@
+//! Profiling for the `oslay` reproduction.
+//!
+//! This crate turns block-level traces into the data structures the paper's
+//! placement algorithms consume (Section 4): a **weighted basic-block flow
+//! graph** `G = {V, E}` whose node and arc weights are measured execution
+//! counts, with unexecuted nodes and arcs pruned; **routine-level**
+//! statistics (invocation counts, a weighted call graph); and **natural
+//! loops** found by classic dataflow analysis (dominators + back edges,
+//! following Aho, Sethi & Ullman), split into loops with and without
+//! procedure calls as in Section 3.2.2.
+//!
+//! Everything here is *measurement*: no ground-truth probabilities from the
+//! synthetic generator are visible, only what the trace shows — exactly the
+//! information the original tooling extracted from hardware traces.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collect;
+mod dominators;
+mod natural_loops;
+mod profile;
+mod routines;
+
+pub use dominators::Dominators;
+pub use natural_loops::{LoopAnalysis, NaturalLoop};
+pub use profile::{ArcRecord, Profile};
+pub use routines::{CallGraph, RoutineStats};

@@ -1,0 +1,235 @@
+//! Routine-level statistics and the weighted call graph.
+
+use std::collections::{BTreeMap, HashSet};
+
+use oslay_model::{Program, RoutineId, Terminator};
+
+use crate::Profile;
+
+/// Measured routine-level statistics.
+#[derive(Clone, Debug)]
+pub struct RoutineStats {
+    invocations: Vec<u64>,
+    executed_bytes: Vec<u64>,
+}
+
+impl RoutineStats {
+    /// Computes per-routine statistics from a profile.
+    #[must_use]
+    pub fn compute(program: &Program, profile: &Profile) -> Self {
+        let mut executed_bytes = vec![0u64; program.num_routines()];
+        for (id, block) in program.blocks() {
+            if profile.node_weight(id) > 0 {
+                executed_bytes[block.routine().index()] += u64::from(block.size());
+            }
+        }
+        let invocations = (0..program.num_routines())
+            .map(|i| profile.routine_invocations(RoutineId::new(i)))
+            .collect();
+        Self {
+            invocations,
+            executed_bytes,
+        }
+    }
+
+    /// Times this routine was invoked.
+    #[must_use]
+    pub fn invocations(&self, routine: RoutineId) -> u64 {
+        self.invocations[routine.index()]
+    }
+
+    /// Bytes of this routine's code executed at least once.
+    #[must_use]
+    pub fn executed_bytes(&self, routine: RoutineId) -> u64 {
+        self.executed_bytes[routine.index()]
+    }
+
+    /// Routines sorted most-invoked first (the paper's Figure 6 ranking),
+    /// excluding never-invoked routines.
+    #[must_use]
+    pub fn ranked_by_invocations(&self) -> Vec<(RoutineId, u64)> {
+        let mut v: Vec<(RoutineId, u64)> = self
+            .invocations
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (RoutineId::new(i), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of routines invoked at least once.
+    #[must_use]
+    pub fn num_invoked(&self) -> usize {
+        self.invocations.iter().filter(|&&n| n > 0).count()
+    }
+}
+
+/// The measured, weighted call graph: `caller → callee` with the number of
+/// observed call transitions.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    edges: BTreeMap<(RoutineId, RoutineId), u64>,
+    callees: Vec<Vec<(RoutineId, u64)>>,
+    callers: Vec<Vec<(RoutineId, u64)>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from measured call-arc traversals.
+    #[must_use]
+    pub fn compute(program: &Program, profile: &Profile) -> Self {
+        let mut edges: BTreeMap<(RoutineId, RoutineId), u64> = BTreeMap::new();
+        for (id, block) in program.blocks() {
+            if let Terminator::Call { callee, .. } = block.terminator() {
+                let entry = program.routine(*callee).entry();
+                let w = profile.arc_weight(id, entry);
+                if w > 0 {
+                    *edges.entry((block.routine(), *callee)).or_insert(0) += w;
+                }
+            }
+        }
+        let n = program.num_routines();
+        let mut callees: Vec<Vec<(RoutineId, u64)>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<(RoutineId, u64)>> = vec![Vec::new(); n];
+        for (&(from, to), &w) in &edges {
+            callees[from.index()].push((to, w));
+            callers[to.index()].push((from, w));
+        }
+        for v in callees.iter_mut().chain(callers.iter_mut()) {
+            v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        Self {
+            edges,
+            callees,
+            callers,
+        }
+    }
+
+    /// All edges (caller, callee, weight), heaviest first.
+    #[must_use]
+    pub fn edges_by_weight(&self) -> Vec<(RoutineId, RoutineId, u64)> {
+        let mut v: Vec<_> = self
+            .edges
+            .iter()
+            .map(|(&(a, b), &w)| (a, b, w))
+            .collect();
+        v.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
+        v
+    }
+
+    /// Observed call count from `caller` to `callee`.
+    #[must_use]
+    pub fn weight(&self, caller: RoutineId, callee: RoutineId) -> u64 {
+        self.edges.get(&(caller, callee)).copied().unwrap_or(0)
+    }
+
+    /// Routines called by `routine`, heaviest first.
+    #[must_use]
+    pub fn callees(&self, routine: RoutineId) -> &[(RoutineId, u64)] {
+        &self.callees[routine.index()]
+    }
+
+    /// Routines calling `routine`, heaviest first.
+    #[must_use]
+    pub fn callers(&self, routine: RoutineId) -> &[(RoutineId, u64)] {
+        &self.callers[routine.index()]
+    }
+
+    /// The set of routines transitively callable from `roots` (inclusive),
+    /// following only observed (executed) call edges.
+    #[must_use]
+    pub fn executed_closure(&self, roots: &[RoutineId]) -> HashSet<RoutineId> {
+        let mut seen: HashSet<RoutineId> = HashSet::new();
+        let mut stack: Vec<RoutineId> = roots.to_vec();
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            for &(callee, _) in self.callees(r) {
+                if !seen.contains(&callee) {
+                    stack.push(callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+    use oslay_trace::{standard_workloads, Engine, EngineConfig};
+
+    fn setup() -> (Program, Profile) {
+        let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 33));
+        let specs = standard_workloads(&k.tables);
+        let t = Engine::new(&k.program, None, &specs[3], EngineConfig::new(4)).run(30_000);
+        let p = Profile::collect(&k.program, &t);
+        (k.program, p)
+    }
+
+    #[test]
+    fn ranked_invocations_descend() {
+        let (program, profile) = setup();
+        let stats = RoutineStats::compute(&program, &profile);
+        let ranked = stats.ranked_by_invocations();
+        assert!(!ranked.is_empty());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        assert_eq!(ranked.len(), stats.num_invoked());
+    }
+
+    #[test]
+    fn call_graph_edges_are_symmetric_views() {
+        let (program, profile) = setup();
+        let cg = CallGraph::compute(&program, &profile);
+        for (a, b, w) in cg.edges_by_weight() {
+            assert_eq!(cg.weight(a, b), w);
+            assert!(cg.callees(a).iter().any(|&(r, x)| r == b && x == w));
+            assert!(cg.callers(b).iter().any(|&(r, x)| r == a && x == w));
+        }
+    }
+
+    #[test]
+    fn seed_services_call_the_transition_routines() {
+        let (program, profile) = setup();
+        let cg = CallGraph::compute(&program, &profile);
+        let sc = program.routine_by_name("sc_entry").unwrap().id();
+        let trans = program.routine_by_name("usr_sys_trans").unwrap().id();
+        assert!(cg.weight(sc, trans) > 0, "sc_entry must call usr_sys_trans");
+    }
+
+    #[test]
+    fn closure_contains_roots_and_descendants() {
+        let (program, profile) = setup();
+        let cg = CallGraph::compute(&program, &profile);
+        let sc = program.routine_by_name("sc_entry").unwrap().id();
+        let closure = cg.executed_closure(&[sc]);
+        assert!(closure.contains(&sc));
+        let trans = program.routine_by_name("usr_sys_trans").unwrap().id();
+        assert!(closure.contains(&trans));
+        // Closure must be closed under callees.
+        for &r in &closure {
+            for &(c, _) in cg.callees(r) {
+                assert!(closure.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn executed_bytes_bounded_by_routine_size() {
+        let (program, profile) = setup();
+        let stats = RoutineStats::compute(&program, &profile);
+        for r in program.routines() {
+            let total: u64 = r
+                .blocks()
+                .iter()
+                .map(|&b| u64::from(program.block(b).size()))
+                .sum();
+            assert!(stats.executed_bytes(r.id()) <= total);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Workload specifications.
+//!
+//! A [`WorkloadSpec`] tells the engine *how* a workload drives the kernel:
+//! the mix of operating-system entry classes (the paper's Table 1), the
+//! per-dispatch-table weights (which interrupts fire, which system calls
+//! are made, which fault types occur), and how much application execution
+//! happens between OS invocations.
+//!
+//! [`StandardWorkload`] reproduces the paper's four workloads:
+//!
+//! | Workload | Character | Invocation mix (Int/PF/SC/Other) |
+//! |---|---|---|
+//! | `TRFD_4` | 4 copies of a parallel scientific code | 76.0 / 23.0 / 0.0 / 1.0 % |
+//! | `TRFD+Make` | parallel code + C-compiler runs | 65.7 / 21.3 / 11.2 / 1.8 % |
+//! | `ARC2D+Fsck` | fluid dynamics + file-system check | 73.8 / 21.9 / 2.4 / 1.9 % |
+//! | `Shell` | heavy multiprogrammed shell script | 29.7 / 12.0 / 54.7 / 3.6 % |
+
+use std::collections::BTreeMap;
+
+use oslay_model::synth::{AppKind, DispatchTables};
+use oslay_model::DispatchId;
+
+/// How a workload drives the kernel's system-call dispatcher.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum SyscallProfile {
+    /// All system calls equally likely.
+    Uniform,
+    /// Compiler-under-make style: read/write/open/close/stat plus process
+    /// creation for each compilation.
+    FileHeavy,
+    /// Checker style (fsck): bulk sequential reads, seeks, stats.
+    ScientificIo,
+    /// Shell style: broad coverage with heavy process churn
+    /// (fork/execve/exit/wait, pipes, dups).
+    ShellBroad,
+}
+
+/// Index positions of named system calls in the synthetic kernel's
+/// dispatch table (the order of `SYSCALL_NAMES` in `oslay-model`).
+mod sc {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const OPEN: usize = 2;
+    pub const CLOSE: usize = 3;
+    pub const STAT: usize = 4;
+    pub const LSEEK: usize = 6;
+    pub const DUP: usize = 7;
+    pub const PIPE: usize = 8;
+    pub const IOCTL: usize = 9;
+    pub const FORK: usize = 20;
+    pub const EXECVE: usize = 22;
+    pub const EXIT: usize = 23;
+    pub const WAIT: usize = 24;
+    pub const GETPID: usize = 26;
+    pub const BRK: usize = 28;
+    pub const GETTIMEOFDAY: usize = 32;
+}
+
+impl SyscallProfile {
+    /// Builds a normalized weight vector for a dispatcher of `arity`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    #[must_use]
+    pub fn weights(self, arity: usize) -> Vec<f64> {
+        assert!(arity > 0, "syscall table must have entries");
+        let mut w = vec![
+            match self {
+                SyscallProfile::Uniform => 1.0,
+                // A trickle of everything else keeps rarely-used handlers
+                // reachable, which is what grows the executed footprint of
+                // syscall-heavy workloads over time (Table 1).
+                SyscallProfile::FileHeavy => 0.01,
+                SyscallProfile::ScientificIo => 0.004,
+                SyscallProfile::ShellBroad => 0.2,
+            };
+            arity
+        ];
+        let mut bump = |idx: usize, val: f64| {
+            if idx < arity {
+                w[idx] = val;
+            }
+        };
+        match self {
+            SyscallProfile::Uniform => {}
+            SyscallProfile::FileHeavy => {
+                bump(sc::READ, 0.25);
+                bump(sc::WRITE, 0.15);
+                bump(sc::OPEN, 0.12);
+                bump(sc::CLOSE, 0.12);
+                bump(sc::STAT, 0.08);
+                bump(sc::LSEEK, 0.05);
+                bump(sc::BRK, 0.05);
+                bump(sc::FORK, 0.04);
+                bump(sc::EXECVE, 0.04);
+                bump(sc::EXIT, 0.04);
+                bump(sc::WAIT, 0.04);
+            }
+            SyscallProfile::ScientificIo => {
+                bump(sc::READ, 0.30);
+                bump(sc::WRITE, 0.15);
+                bump(sc::LSEEK, 0.15);
+                bump(sc::STAT, 0.10);
+                bump(sc::OPEN, 0.08);
+                bump(sc::CLOSE, 0.08);
+            }
+            SyscallProfile::ShellBroad => {
+                bump(sc::FORK, 1.6);
+                bump(sc::EXECVE, 1.6);
+                bump(sc::EXIT, 1.6);
+                bump(sc::WAIT, 1.6);
+                bump(sc::OPEN, 1.2);
+                bump(sc::CLOSE, 1.2);
+                bump(sc::READ, 1.2);
+                bump(sc::WRITE, 1.0);
+                bump(sc::STAT, 1.0);
+                bump(sc::PIPE, 0.8);
+                bump(sc::DUP, 0.8);
+                bump(sc::GETPID, 0.6);
+                bump(sc::IOCTL, 0.6);
+                bump(sc::GETTIMEOFDAY, 0.6);
+            }
+        }
+        let total: f64 = w.iter().sum();
+        for x in &mut w {
+            *x /= total;
+        }
+        w
+    }
+}
+
+/// Full description of how one workload exercises the system.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Workload name, as printed in tables.
+    pub name: String,
+    /// Probability of each OS entry class per invocation
+    /// (indexed by [`oslay_model::SeedKind::index`]; must sum to 1).
+    pub invocation_mix: [f64; 4],
+    /// Weight vectors for workload-controlled dispatch tables. Tables not
+    /// listed here fall back to uniform weights.
+    pub dispatch_weights: BTreeMap<DispatchId, Vec<f64>>,
+    /// Mean number of application blocks executed between consecutive OS
+    /// invocations; `0.0` means the workload has no traced application
+    /// references (the paper's `Shell`).
+    pub app_burst_mean: f64,
+}
+
+impl WorkloadSpec {
+    /// Weight vector for a dispatch table, if overridden.
+    #[must_use]
+    pub fn dispatch(&self, table: DispatchId) -> Option<&[f64]> {
+        self.dispatch_weights.get(&table).map(Vec::as_slice)
+    }
+
+    /// True if this workload interleaves application execution.
+    #[must_use]
+    pub fn has_app(&self) -> bool {
+        self.app_burst_mean > 0.0
+    }
+}
+
+/// The four workloads of the paper's evaluation.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum StandardWorkload {
+    /// `TRFD_4`: four copies of parallel TRFD; scheduling/interrupt bound.
+    Trfd4,
+    /// `TRFD+Make`: parallel code plus compiler runs; paging and syscalls.
+    TrfdMake,
+    /// `ARC2D+Fsck`: fluid dynamics plus a file-system check.
+    Arc2dFsck,
+    /// `Shell`: a heavily multiprogrammed shell script; syscall bound.
+    Shell,
+}
+
+impl StandardWorkload {
+    /// All four, in the paper's column order.
+    pub const ALL: [StandardWorkload; 4] = [
+        StandardWorkload::Trfd4,
+        StandardWorkload::TrfdMake,
+        StandardWorkload::Arc2dFsck,
+        StandardWorkload::Shell,
+    ];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StandardWorkload::Trfd4 => "TRFD_4",
+            StandardWorkload::TrfdMake => "TRFD+Make",
+            StandardWorkload::Arc2dFsck => "ARC2D+Fsck",
+            StandardWorkload::Shell => "Shell",
+        }
+    }
+
+    /// Invocation mix from the paper's Table 1.
+    #[must_use]
+    pub fn invocation_mix(self) -> [f64; 4] {
+        match self {
+            StandardWorkload::Trfd4 => [0.760, 0.230, 0.000, 0.010],
+            StandardWorkload::TrfdMake => [0.657, 0.213, 0.112, 0.018],
+            StandardWorkload::Arc2dFsck => [0.738, 0.219, 0.024, 0.019],
+            StandardWorkload::Shell => [0.297, 0.120, 0.547, 0.036],
+        }
+    }
+
+    /// Application components this workload interleaves, with mix weights.
+    /// Empty for `Shell` (its application references are negligible and the
+    /// paper does not trace them).
+    #[must_use]
+    pub fn app_components(self) -> Vec<(AppKind, f64)> {
+        match self {
+            StandardWorkload::Trfd4 => vec![(AppKind::Scientific, 1.0)],
+            StandardWorkload::TrfdMake => {
+                vec![(AppKind::Scientific, 0.45), (AppKind::Compiler, 0.55)]
+            }
+            StandardWorkload::Arc2dFsck => {
+                vec![(AppKind::Scientific, 0.70), (AppKind::Utility, 0.30)]
+            }
+            StandardWorkload::Shell => vec![],
+        }
+    }
+
+    /// Builds the full spec against a synthetic kernel's dispatch tables.
+    #[must_use]
+    pub fn spec(self, tables: &DispatchTables) -> WorkloadSpec {
+        let mut dispatch_weights = BTreeMap::new();
+        // Interrupt types: timer, cross-processor, device I/O, sync,
+        // disk completion, network.
+        let interrupt = match self {
+            StandardWorkload::Trfd4 => vec![0.42, 0.33, 0.04, 0.18, 0.02, 0.01],
+            StandardWorkload::TrfdMake => vec![0.45, 0.22, 0.10, 0.08, 0.12, 0.03],
+            StandardWorkload::Arc2dFsck => vec![0.45, 0.25, 0.08, 0.08, 0.12, 0.02],
+            StandardWorkload::Shell => vec![0.52, 0.08, 0.16, 0.04, 0.12, 0.08],
+        };
+        // Fault types: TLB fix, protection, demand-zero, copy-on-write,
+        // swap-in.
+        let fault = match self {
+            StandardWorkload::Trfd4 => vec![0.70, 0.08, 0.18, 0.02, 0.02],
+            StandardWorkload::TrfdMake => vec![0.45, 0.08, 0.25, 0.12, 0.10],
+            StandardWorkload::Arc2dFsck => vec![0.55, 0.08, 0.22, 0.07, 0.08],
+            StandardWorkload::Shell => vec![0.45, 0.08, 0.28, 0.11, 0.08],
+        };
+        // Other services: context switch, idle, signal delivery, preempt.
+        let other = match self {
+            StandardWorkload::Trfd4 => vec![0.70, 0.12, 0.04, 0.14],
+            StandardWorkload::TrfdMake => vec![0.60, 0.08, 0.17, 0.15],
+            StandardWorkload::Arc2dFsck => vec![0.65, 0.08, 0.13, 0.14],
+            StandardWorkload::Shell => vec![0.50, 0.04, 0.30, 0.16],
+        };
+        let profile = match self {
+            StandardWorkload::Trfd4 => SyscallProfile::Uniform,
+            StandardWorkload::TrfdMake => SyscallProfile::FileHeavy,
+            StandardWorkload::Arc2dFsck => SyscallProfile::ScientificIo,
+            StandardWorkload::Shell => SyscallProfile::ShellBroad,
+        };
+        dispatch_weights.insert(
+            tables.interrupt,
+            normalize_to(interrupt, tables.interrupt_arity),
+        );
+        dispatch_weights.insert(tables.fault, normalize_to(fault, tables.fault_arity));
+        dispatch_weights.insert(tables.other, normalize_to(other, tables.other_arity));
+        dispatch_weights.insert(tables.syscall, profile.weights(tables.syscall_arity));
+        let app_burst_mean = match self {
+            StandardWorkload::Trfd4 => 150.0,
+            StandardWorkload::TrfdMake => 320.0,
+            StandardWorkload::Arc2dFsck => 230.0,
+            StandardWorkload::Shell => 0.0,
+        };
+        WorkloadSpec {
+            name: self.name().to_owned(),
+            invocation_mix: self.invocation_mix(),
+            dispatch_weights,
+            app_burst_mean,
+        }
+    }
+}
+
+/// Fits a weight vector to a table arity (truncate or pad with the minimum
+/// weight) and renormalizes.
+fn normalize_to(mut w: Vec<f64>, arity: usize) -> Vec<f64> {
+    let min = w.iter().copied().fold(f64::INFINITY, f64::min).max(1e-6);
+    w.resize(arity, min);
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Builds the specs for all four standard workloads against a kernel.
+#[must_use]
+pub fn standard_workloads(tables: &DispatchTables) -> Vec<WorkloadSpec> {
+    StandardWorkload::ALL
+        .iter()
+        .map(|w| w.spec(tables))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+
+    fn tables() -> DispatchTables {
+        generate_kernel(&KernelParams::at_scale(Scale::Tiny, 3)).tables
+    }
+
+    #[test]
+    fn four_standard_workloads() {
+        let specs = standard_workloads(&tables());
+        assert_eq!(specs.len(), 4);
+        let names: Vec<_> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"]);
+    }
+
+    #[test]
+    fn invocation_mixes_sum_to_one() {
+        for w in StandardWorkload::ALL {
+            let sum: f64 = w.invocation_mix().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{} sums to {sum}", w.name());
+        }
+    }
+
+    #[test]
+    fn dispatch_weights_match_arity_and_normalize() {
+        let t = tables();
+        for spec in standard_workloads(&t) {
+            for (table, arity) in [
+                (t.interrupt, t.interrupt_arity),
+                (t.fault, t.fault_arity),
+                (t.syscall, t.syscall_arity),
+                (t.other, t.other_arity),
+            ] {
+                let w = spec.dispatch(table).expect("table weighted");
+                assert_eq!(w.len(), arity);
+                let sum: f64 = w.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+                assert!(w.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn shell_has_no_app() {
+        let t = tables();
+        let shell = StandardWorkload::Shell.spec(&t);
+        assert!(!shell.has_app());
+        assert!(StandardWorkload::Shell.app_components().is_empty());
+        let trfd = StandardWorkload::Trfd4.spec(&t);
+        assert!(trfd.has_app());
+    }
+
+    #[test]
+    fn syscall_profiles_prefer_their_calls() {
+        let w = SyscallProfile::FileHeavy.weights(36);
+        assert!(w[sc::READ] > w[sc::GETPID]);
+        let w = SyscallProfile::ShellBroad.weights(36);
+        assert!(w[sc::FORK] > w[sc::LSEEK]);
+        let w = SyscallProfile::Uniform.weights(10);
+        assert!((w[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_work_for_small_tables() {
+        for profile in [
+            SyscallProfile::Uniform,
+            SyscallProfile::FileHeavy,
+            SyscallProfile::ScientificIo,
+            SyscallProfile::ShellBroad,
+        ] {
+            let w = profile.weights(6);
+            assert_eq!(w.len(), 6);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: generate a kernel + workload, profile it, build the
+//! paper's optimized layout, and compare miss rates against the
+//! unoptimized image.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oslay::analysis::report::pct;
+use oslay::cache::{Cache, CacheConfig, InstructionCache};
+use oslay::trace::{TraceBuffer, TraceRecord};
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+
+fn main() {
+    // A small study: synthetic kernel, the four standard workloads,
+    // traces, and profiles — all deterministic.
+    let study = Study::generate(&StudyConfig::small());
+    println!(
+        "Kernel: {} routines, {} basic blocks, {:.0} KB of code",
+        study.kernel().program.num_routines(),
+        study.kernel().program.num_blocks(),
+        study.kernel().program.total_size() as f64 / 1024.0,
+    );
+
+    // The hardware-performance-monitor substrate the original study relied
+    // on: a fixed-capacity trace buffer that halts the machine and drains
+    // when nearly full. Here we push one synthetic burst through it just
+    // to show the capture path.
+    let mut captured = 0usize;
+    let mut buffer = TraceBuffer::new(1 << 16, |chunk: &[TraceRecord]| captured += chunk.len());
+    for t in 0..100_000u32 {
+        buffer.capture(TraceRecord::new(0x1000 + 4 * t, t, false));
+    }
+    buffer.flush();
+    println!("Trace buffer drained {captured} records in bursts (monitor substrate).\n");
+
+    // Compare Base vs OptS on the Shell workload (OS-only references).
+    let cache_cfg = CacheConfig::paper_default();
+    let case = &study.cases()[3];
+    println!(
+        "Workload {}: {} OS block events traced",
+        case.name(),
+        case.trace.os_blocks()
+    );
+    for kind in [OsLayoutKind::Base, OsLayoutKind::ChangHwu, OsLayoutKind::OptS] {
+        let os = study.os_layout(kind, cache_cfg.size());
+        let mut cache = Cache::new(cache_cfg);
+        let r = study.simulate(case, &os.layout, None, &mut cache, &SimConfig::fast());
+        println!(
+            "  {:<5} miss rate {} ({} misses / {} fetches)",
+            kind.name(),
+            pct(r.miss_rate()),
+            r.stats.total_misses(),
+            r.stats.total_accesses(),
+        );
+        cache.reset();
+    }
+    println!();
+    println!(
+        "OptS = the paper's layout: interprocedural sequences grown from the four kernel \
+         seeds, plus a SelfConfFree area replicated across logical caches."
+    );
+}

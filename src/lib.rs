@@ -1,0 +1,9 @@
+//! Workspace-spanning test/example shim for the `oslay` reproduction.
+//!
+//! The real public API lives in the [`oslay`] umbrella crate and the
+//! per-subsystem crates (`oslay-model`, `oslay-trace`, `oslay-profile`,
+//! `oslay-cache`, `oslay-layout`, `oslay-analysis`, `oslay-perf`). This
+//! root package exists so that the repository-level `tests/` and
+//! `examples/` directories can exercise all of them together.
+
+pub use oslay;

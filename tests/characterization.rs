@@ -1,0 +1,206 @@
+//! Characterization tests: the synthetic kernel + workloads must exhibit
+//! the statistical structure the paper measures in Section 3 (these are
+//! the properties the substitution argument in DESIGN.md rests on).
+
+use std::sync::OnceLock;
+
+use oslay::analysis::arcs::ArcDeterminism;
+use oslay::analysis::loops::{loop_fractions, loop_shape};
+use oslay::analysis::refchar::{ref_characteristics, union_footprint};
+use oslay::analysis::temporal::{BlockSkew, InvocationSkew, ReuseDistance};
+use oslay::model::SeedKind;
+use oslay::profile::LoopAnalysis;
+use oslay::{Study, StudyConfig};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(&StudyConfig::tiny().with_os_blocks(80_000)))
+}
+
+#[test]
+fn arc_probabilities_are_bimodal() {
+    // Paper Figure 3: 73.6% of arcs at probability >= 0.99, 6.9% <= 0.01.
+    let d = ArcDeterminism::measure(study().averaged_os_profile());
+    assert!(d.total > 500, "too few arcs: {}", d.total);
+    assert!(
+        d.fraction_ge_99() > 0.45,
+        "only {} of arcs >= 0.99",
+        d.fraction_ge_99()
+    );
+    assert!(
+        d.fraction_le_01() > 0.005,
+        "only {} of arcs <= 0.01",
+        d.fraction_le_01()
+    );
+}
+
+#[test]
+fn each_workload_executes_a_small_fraction_of_the_kernel() {
+    // Paper Table 1: 3.4-13.1% of the code per workload.
+    let s = study();
+    for case in s.cases() {
+        let rc = ref_characteristics(&s.kernel().program, &case.os_profile, &case.trace);
+        assert!(
+            rc.executed_code_fraction < 0.55,
+            "{} executes {} of the kernel",
+            case.name(),
+            rc.executed_code_fraction
+        );
+        assert!(rc.executed_bytes > 1_000);
+    }
+}
+
+#[test]
+fn footprints_order_like_the_paper() {
+    // TRFD_4 (no syscalls) touches the least code; the syscall-rich
+    // workloads touch the most.
+    let s = study();
+    let frac: Vec<f64> = s
+        .cases()
+        .iter()
+        .map(|c| {
+            ref_characteristics(&s.kernel().program, &c.os_profile, &c.trace)
+                .executed_code_fraction
+        })
+        .collect();
+    let trfd4 = frac[0];
+    for (i, &f) in frac.iter().enumerate().skip(1) {
+        assert!(
+            f > trfd4,
+            "workload {i} footprint {f} not larger than TRFD_4 {trfd4}"
+        );
+    }
+}
+
+#[test]
+fn union_footprint_exceeds_every_single_workload() {
+    let s = study();
+    let profiles: Vec<_> = s.cases().iter().map(|c| c.os_profile.clone()).collect();
+    let union = union_footprint(&s.kernel().program, &profiles);
+    for case in s.cases() {
+        let rc = ref_characteristics(&s.kernel().program, &case.os_profile, &case.trace);
+        assert!(union.code_fraction >= rc.executed_code_fraction - 1e-12);
+    }
+}
+
+#[test]
+fn invocation_mixes_match_table_1() {
+    let s = study();
+    for case in s.cases() {
+        let measured = case.trace.invocation_mix();
+        let n = case.trace.total_invocations() as f64;
+        for kind in SeedKind::ALL {
+            let want = case.spec.invocation_mix[kind.index()];
+            let got = measured[kind.index()];
+            // Binomial sampling bound: tiny-scale traces hold only ~100
+            // invocations for the app-heavy workloads.
+            let tolerance = 4.0 * (want * (1.0 - want) / n.max(1.0)).sqrt() + 0.01;
+            assert!(
+                (got - want).abs() < tolerance,
+                "{} {kind}: measured {got} vs spec {want} (n={n}, tol={tolerance:.3})",
+                case.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn call_free_loops_are_small_and_shallow() {
+    // Paper Figure 4: largest call-free loop spans 300 bytes; half iterate
+    // <= 6 times.
+    let s = study();
+    let shape = loop_shape(s.os_loops().executed_loops().filter(|l| !l.has_calls));
+    assert!(shape.count >= 5, "too few call-free loops: {}", shape.count);
+    assert!(
+        shape.sizes.cumulative_fraction(512.0) > 0.9,
+        "call-free loops too large"
+    );
+    assert!(
+        shape.iterations.cumulative_fraction(10.0) > 0.4,
+        "call-free loops iterate too much"
+    );
+}
+
+#[test]
+fn call_loops_span_much_more_than_their_bodies() {
+    // Paper Figure 5: shallow iteration counts but kilobyte spans.
+    let s = study();
+    let call = loop_shape(s.os_loops().executed_loops().filter(|l| l.has_calls));
+    let free = loop_shape(s.os_loops().executed_loops().filter(|l| !l.has_calls));
+    if call.count >= 3 && free.count >= 3 {
+        assert!(
+            call.median_size > 2.0 * free.median_size,
+            "call-loop span {} vs call-free {}",
+            call.median_size,
+            free.median_size
+        );
+    }
+}
+
+#[test]
+fn dynamic_loop_fraction_is_moderate() {
+    // Paper Table 3: call-free loops hold 29-39% of dynamic instructions —
+    // loops do NOT dominate the OS, unlike scientific code.
+    let s = study();
+    let la = LoopAnalysis::analyze(&s.kernel().program, s.averaged_os_profile());
+    let fr = loop_fractions(&s.kernel().program, s.averaged_os_profile(), &la);
+    assert!(
+        (0.03..0.75).contains(&fr.dynamic_fraction),
+        "dynamic loop fraction {}",
+        fr.dynamic_fraction
+    );
+    assert!(fr.static_executed_fraction < 0.4);
+}
+
+#[test]
+fn few_routines_absorb_most_invocations() {
+    // Paper Figure 6.
+    let s = study();
+    let skew = InvocationSkew::measure(&s.kernel().program, s.averaged_os_profile());
+    assert!(skew.top_share(10) > 40.0, "top-10 share {}", skew.top_share(10));
+}
+
+#[test]
+fn lock_handling_is_among_the_hottest_routines() {
+    // Paper: "routines that perform lock handling, timer management, state
+    // save and restore..." top the invocation ranking.
+    let s = study();
+    let skew = InvocationSkew::measure(&s.kernel().program, s.averaged_os_profile());
+    let top5: Vec<&str> = skew
+        .ranked
+        .iter()
+        .take(5)
+        .map(|&(r, _)| s.kernel().program.routine(r).name())
+        .collect();
+    assert!(
+        top5.iter().any(|n| n.contains("lock")),
+        "no lock routine in top 5: {top5:?}"
+    );
+}
+
+#[test]
+fn block_skew_is_extreme() {
+    // Paper Figure 8: a few blocks absorb a large share; most blocks are
+    // nearly never executed.
+    let s = study();
+    let la = LoopAnalysis::analyze(&s.kernel().program, s.averaged_os_profile());
+    let skew = BlockSkew::measure(s.averaged_os_profile(), &la);
+    let n = skew.ranked.len();
+    assert!(n > 200);
+    let top20: f64 = skew.ranked.iter().take(20).map(|&(_, p)| p).sum();
+    assert!(top20 > 10.0, "top-20 blocks hold only {top20}%");
+}
+
+#[test]
+fn temporal_reuse_is_high_within_invocations() {
+    // Paper Figure 7: ~70% of reinvocations within 1000 instruction words.
+    let s = study();
+    let case = &s.cases()[3];
+    let rd = ReuseDistance::measure(&s.kernel().program, &case.os_profile, &case.trace, 10);
+    assert!(rd.total_calls > 500);
+    assert!(
+        rd.reuse_within(1000.0) > 0.25,
+        "reuse within 1000 words only {}",
+        rd.reuse_within(1000.0)
+    );
+}

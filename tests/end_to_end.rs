@@ -1,0 +1,258 @@
+//! End-to-end pipeline tests: the paper's headline claims must hold on
+//! the full model → trace → profile → layout → simulate chain.
+
+use std::sync::OnceLock;
+
+use oslay::cache::{Cache, CacheConfig, MissKind, ReservedCache, SplitCache};
+use oslay::model::Domain;
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(&StudyConfig::tiny().with_os_blocks(80_000)))
+}
+
+fn misses(case_idx: usize, kind: OsLayoutKind, cfg: CacheConfig) -> u64 {
+    let s = study();
+    let case = &s.cases()[case_idx];
+    let os = s.os_layout(kind, cfg.size());
+    let app = s.app_base_layout(case);
+    let mut cache = Cache::new(cfg);
+    s.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+        .stats
+        .total_misses()
+}
+
+#[test]
+fn optimized_layouts_beat_base_on_every_workload() {
+    let cfg = CacheConfig::paper_default();
+    for i in 0..4 {
+        let base = misses(i, OsLayoutKind::Base, cfg);
+        let ch = misses(i, OsLayoutKind::ChangHwu, cfg);
+        let opt = misses(i, OsLayoutKind::OptS, cfg);
+        assert!(ch < base, "workload {i}: C-H {ch} !< Base {base}");
+        assert!(opt < base, "workload {i}: OptS {opt} !< Base {base}");
+    }
+}
+
+#[test]
+fn opts_is_competitive_with_chang_hwu_everywhere_and_wins_overall() {
+    // The paper: OptS reduces C-H's misses by ~25% on average. At the tiny
+    // test scale we assert OptS wins in aggregate and never loses badly.
+    let cfg = CacheConfig::paper_default();
+    let mut total_ch = 0;
+    let mut total_opt = 0;
+    for i in 0..4 {
+        let ch = misses(i, OsLayoutKind::ChangHwu, cfg);
+        let opt = misses(i, OsLayoutKind::OptS, cfg);
+        assert!(
+            (opt as f64) < ch as f64 * 1.25,
+            "workload {i}: OptS {opt} much worse than C-H {ch}"
+        );
+        total_ch += ch;
+        total_opt += opt;
+    }
+    assert!(
+        total_opt < total_ch,
+        "aggregate: OptS {total_opt} !< C-H {total_ch}"
+    );
+}
+
+#[test]
+fn self_interference_dominates_base_os_misses() {
+    // Paper: "self-interference misses account for over 90% of the
+    // operating system misses in all the workloads studied."
+    let s = study();
+    let case = &s.cases()[3]; // Shell: OS-only, cleanest comparison
+    let os = s.os_layout(OsLayoutKind::Base, 8192);
+    let mut cache = Cache::new(CacheConfig::paper_default());
+    let r = s.simulate(case, &os.layout, None, &mut cache, &SimConfig::fast());
+    let os_misses = r.stats.domain_misses(Domain::Os);
+    let self_misses = r.stats.misses(MissKind::OsSelf);
+    // At the tiny test scale cold misses are a larger share than at paper
+    // scale (where self-interference exceeds 90% and cold is under 1%;
+    // see EXPERIMENTS.md) — assert dominance with headroom for that.
+    assert!(
+        self_misses as f64 > 0.75 * os_misses as f64,
+        "self {self_misses} of {os_misses}"
+    );
+}
+
+#[test]
+fn cold_misses_are_negligible() {
+    let s = study();
+    let case = &s.cases()[3];
+    let os = s.os_layout(OsLayoutKind::Base, 8192);
+    let mut cache = Cache::new(CacheConfig::paper_default());
+    let r = s.simulate(case, &os.layout, None, &mut cache, &SimConfig::fast());
+    let cold = r.stats.misses(MissKind::Cold);
+    // Short tiny-scale traces leave cold misses a visible share; at paper
+    // scale they are under 1% (the paper calls them negligible).
+    assert!(
+        (cold as f64) < 0.25 * r.stats.total_misses() as f64,
+        "cold misses {cold} of {}",
+        r.stats.total_misses()
+    );
+}
+
+#[test]
+fn opta_eliminates_app_self_interference() {
+    let s = study();
+    let cfg = CacheConfig::paper_default();
+    for case in s.cases().iter().filter(|c| c.app.is_some()) {
+        let os = s.os_layout(OsLayoutKind::OptS, cfg.size());
+        let app_opt = s.app_opt_layout(case, cfg.size());
+        let mut cache = Cache::new(cfg);
+        let r = s.simulate(case, &os.layout, app_opt.as_ref(), &mut cache, &SimConfig::fast());
+        let app_self = r.stats.misses(MissKind::AppSelf);
+        let app_total = r.stats.accesses(Domain::App);
+        assert!(
+            (app_self as f64) < 0.002 * app_total as f64,
+            "{}: app self misses {app_self} of {app_total} accesses",
+            case.name()
+        );
+    }
+}
+
+#[test]
+fn miss_count_decreases_with_cache_size() {
+    for kind in [OsLayoutKind::Base, OsLayoutKind::OptS] {
+        let mut prev = u64::MAX;
+        for size in [4096u32, 8192, 16384, 32768] {
+            let m = misses(3, kind, CacheConfig::new(size, 32, 1));
+            assert!(
+                m <= prev,
+                "{}: misses grew from {prev} to {m} at {size}B",
+                kind.name()
+            );
+            prev = m;
+        }
+    }
+}
+
+#[test]
+fn direct_mapped_opts_beats_8way_base() {
+    // Paper: "the miss rate for direct-mapped OptS is lower than for 8-way
+    // set-associative Base."
+    let opt_dm = misses(3, OsLayoutKind::OptS, CacheConfig::new(8192, 32, 1));
+    let base_8w = misses(3, OsLayoutKind::Base, CacheConfig::new(8192, 32, 8));
+    assert!(
+        opt_dm < base_8w,
+        "OptS direct-mapped {opt_dm} !< Base 8-way {base_8w}"
+    );
+}
+
+#[test]
+fn associativity_narrows_the_software_gain() {
+    // Paper: increased associativity removes in hardware some of the
+    // misses the layout removes in software.
+    let gain = |ways: u32| {
+        let cfg = CacheConfig::new(8192, 32, ways);
+        let base = misses(3, OsLayoutKind::Base, cfg) as f64;
+        let opt = misses(3, OsLayoutKind::OptS, cfg) as f64;
+        1.0 - opt / base
+    };
+    let g1 = gain(1);
+    let g8 = gain(8);
+    assert!(
+        g8 < g1 + 0.02,
+        "relative gain should not grow with associativity: 1-way {g1:.2}, 8-way {g8:.2}"
+    );
+}
+
+#[test]
+fn split_cache_is_not_better_than_unified_opta() {
+    let s = study();
+    let cfg = CacheConfig::paper_default();
+    let os = s.os_layout(OsLayoutKind::OptS, cfg.size());
+    for case in s.cases() {
+        let app = s.app_opt_layout(case, cfg.size());
+        let unified = {
+            let mut cache = Cache::new(cfg);
+            s.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+                .stats
+                .total_misses()
+        };
+        let split = {
+            let mut cache = SplitCache::halves_of(cfg);
+            s.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+                .stats
+                .total_misses()
+        };
+        assert!(
+            split as f64 > 0.95 * unified as f64,
+            "{}: Sep {split} unexpectedly much better than unified {unified}",
+            case.name()
+        );
+    }
+}
+
+#[test]
+fn reserved_cache_offers_no_clear_win() {
+    // Paper: "setting up a small reserved cache is not as good as cleverly
+    // laying out a SelfConfFree area in software."
+    let s = study();
+    let cfg = CacheConfig::paper_default();
+    let os_scf = s.os_layout(OsLayoutKind::OptS, cfg.size());
+    let os_noscf = s.os_opt_s_with_scf(cfg.size(), None);
+    let case = &s.cases()[3];
+    let software = {
+        let mut cache = Cache::new(cfg);
+        s.simulate(case, &os_scf.layout, None, &mut cache, &SimConfig::fast())
+            .stats
+            .total_misses()
+    };
+    let hardware = {
+        let mut cache = ReservedCache::paired_with(cfg, 0..1024);
+        s.simulate(case, &os_noscf.layout, None, &mut cache, &SimConfig::fast())
+            .stats
+            .total_misses()
+    };
+    assert!(
+        hardware as f64 > 0.8 * software as f64,
+        "Resv {hardware} unexpectedly beats software SCF {software}"
+    );
+}
+
+#[test]
+fn call_optimization_reproduces_the_negative_result() {
+    // Paper: the Section 4.4 optimization increases OS misses over the
+    // plain sequence layout.
+    let cfg = CacheConfig::paper_default();
+    let opt = misses(3, OsLayoutKind::OptS, cfg);
+    let call = misses(3, OsLayoutKind::Call, cfg);
+    assert!(
+        call as f64 > 0.9 * opt as f64,
+        "Call {call} unexpectedly much better than OptS {opt}"
+    );
+}
+
+#[test]
+fn dynamic_code_growth_is_small() {
+    // Paper: "the increase in dynamic size is, on average, as low as 2.0%."
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::OptS, 8192);
+    let overhead = os
+        .layout
+        .dynamic_overhead(&s.kernel().program, s.averaged_os_profile());
+    assert!(
+        overhead < 0.10,
+        "dynamic stretch overhead {overhead} exceeds 10%"
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = Study::generate(&StudyConfig::tiny());
+    let b = Study::generate(&StudyConfig::tiny());
+    let la = a.os_layout(OsLayoutKind::OptS, 8192);
+    let lb = b.os_layout(OsLayoutKind::OptS, 8192);
+    assert_eq!(la.layout, lb.layout);
+    let ca = &a.cases()[3];
+    let cb = &b.cases()[3];
+    let mut cache_a = Cache::new(CacheConfig::paper_default());
+    let mut cache_b = Cache::new(CacheConfig::paper_default());
+    let ra = a.simulate(ca, &la.layout, None, &mut cache_a, &SimConfig::fast());
+    let rb = b.simulate(cb, &lb.layout, None, &mut cache_b, &SimConfig::fast());
+    assert_eq!(ra.stats, rb.stats);
+}

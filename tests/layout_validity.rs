@@ -1,0 +1,207 @@
+//! Structural validity of every layout algorithm on the full synthetic
+//! kernel: completeness, non-overlap, SelfConfFree protection, and the
+//! documented geometric invariants.
+
+use std::sync::OnceLock;
+
+use oslay::layout::BlockClass;
+use oslay::model::BlockId;
+use oslay::{OsLayoutKind, Study, StudyConfig};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(&StudyConfig::tiny().with_os_blocks(60_000)))
+}
+
+/// Layout validity (completeness + non-overlap) is enforced by
+/// `LayoutBuilder::finish`; constructing each kind at several cache sizes
+/// exercises that check on the real kernel.
+#[test]
+fn every_layout_kind_builds_at_every_cache_size() {
+    let s = study();
+    for kind in OsLayoutKind::ALL {
+        for size in [4096u32, 8192, 16384, 32768] {
+            let os = s.os_layout(kind, size);
+            assert_eq!(os.layout.num_blocks(), s.kernel().program.num_blocks());
+            assert!(os.layout.span_end() > 0);
+        }
+    }
+}
+
+#[test]
+fn no_two_blocks_overlap_in_opt_s() {
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::OptS, 8192);
+    let program = &s.kernel().program;
+    let mut spans: Vec<(u64, u64)> = (0..program.num_blocks())
+        .map(BlockId::new)
+        .map(|b| {
+            (
+                os.layout.addr(b),
+                os.layout.addr(b) + u64::from(os.layout.effective_size(b)),
+            )
+        })
+        .collect();
+    spans.sort_unstable();
+    for pair in spans.windows(2) {
+        assert!(pair[0].1 <= pair[1].0, "overlap: {:?} then {:?}", pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn scf_area_is_protected_in_opt_s_and_opt_l() {
+    let s = study();
+    let profile = s.averaged_os_profile();
+    for kind in [OsLayoutKind::OptS, OsLayoutKind::OptL] {
+        let os = s.os_layout(kind, 8192);
+        if os.scf_bytes == 0 {
+            continue;
+        }
+        let classes = os.classes.as_ref().expect("optimized layouts have classes");
+        for b in profile.executed_blocks() {
+            let offset = os.layout.addr(b) % 8192;
+            if classes[b.index()] == BlockClass::SelfConfFree {
+                assert!(os.layout.addr(b) < os.scf_bytes);
+            } else {
+                assert!(
+                    offset >= os.scf_bytes,
+                    "{kind:?}: executed block {b} at protected offset {offset}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scf_blocks_are_the_globally_hottest() {
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::OptS, 8192);
+    let classes = os.classes.as_ref().unwrap();
+    let profile = s.averaged_os_profile();
+    let loops = s.os_loops();
+    let min_scf = (0..s.kernel().program.num_blocks())
+        .map(BlockId::new)
+        .filter(|&b| classes[b.index()] == BlockClass::SelfConfFree)
+        .map(|b| loops.flattened_weight(b, profile))
+        .fold(f64::INFINITY, f64::min);
+    // No non-SCF block may be more than twice as hot (flattened) as the
+    // coolest SCF resident (allowing slack for the size-fitting rule).
+    let hottest_outside = (0..s.kernel().program.num_blocks())
+        .map(BlockId::new)
+        .filter(|&b| classes[b.index()] != BlockClass::SelfConfFree)
+        .map(|b| loops.flattened_weight(b, profile))
+        .fold(0.0f64, f64::max);
+    assert!(
+        hottest_outside <= min_scf * 2.0 + 1.0,
+        "block outside SCF with weight {hottest_outside} vs SCF minimum {min_scf}"
+    );
+}
+
+#[test]
+fn executed_code_precedes_cold_code_in_opt_s() {
+    // Sequences (hot) occupy the low addresses; cold code follows (plus
+    // the SCF windows). The *maximum* sequence address must be below the
+    // maximum cold address.
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::OptS, 8192);
+    let classes = os.classes.as_ref().unwrap();
+    let max_hot = (0..s.kernel().program.num_blocks())
+        .map(BlockId::new)
+        .filter(|&b| {
+            matches!(
+                classes[b.index()],
+                BlockClass::MainSeq | BlockClass::OtherSeq
+            )
+        })
+        .map(|b| os.layout.addr(b))
+        .max()
+        .unwrap();
+    let max_cold = (0..s.kernel().program.num_blocks())
+        .map(BlockId::new)
+        .filter(|&b| classes[b.index()] == BlockClass::Cold)
+        .map(|b| os.layout.addr(b))
+        .max()
+        .unwrap();
+    assert!(max_hot < max_cold);
+}
+
+#[test]
+fn app_layouts_are_disjoint_from_kernel_address_space() {
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::OptS, 8192);
+    for case in s.cases().iter().filter(|c| c.app.is_some()) {
+        for app_layout in [
+            s.app_base_layout(case).unwrap(),
+            s.app_opt_layout(case, 8192).unwrap(),
+            s.app_ch_layout(case).unwrap(),
+        ] {
+            let app = case.app.as_ref().unwrap();
+            let min_app = (0..app.num_blocks())
+                .map(BlockId::new)
+                .map(|b| app_layout.addr(b))
+                .min()
+                .unwrap();
+            assert!(
+                min_app >= os.layout.span_end(),
+                "{}: app at {min_app:#x} overlaps kernel image",
+                case.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn base_layout_matches_source_order_exactly() {
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::Base, 8192);
+    let program = &s.kernel().program;
+    let mut cursor = 0u64;
+    for b in program.source_order() {
+        assert_eq!(os.layout.addr(b), cursor);
+        cursor += u64::from(program.block(b).size());
+    }
+}
+
+#[test]
+fn chang_hwu_keeps_routines_contiguous() {
+    let s = study();
+    let os = s.os_layout(OsLayoutKind::ChangHwu, 8192);
+    let program = &s.kernel().program;
+    for routine in program.routines() {
+        let addrs: Vec<u64> = routine.blocks().iter().map(|&b| os.layout.addr(b)).collect();
+        let lo = *addrs.iter().min().unwrap();
+        let hi = *addrs.iter().max().unwrap();
+        let bytes: u64 = routine
+            .blocks()
+            .iter()
+            .map(|&b| u64::from(os.layout.effective_size(b)))
+            .sum();
+        assert!(
+            hi - lo < bytes,
+            "routine {} scattered under C-H",
+            routine.name()
+        );
+    }
+}
+
+#[test]
+fn optimized_layout_compacts_the_hot_region() {
+    // The whole point: in Base, the executed code is spread over the full
+    // image; in OptS it is packed at the bottom.
+    let s = study();
+    let profile = s.averaged_os_profile();
+    let spread = |kind: OsLayoutKind| {
+        let os = s.os_layout(kind, 8192);
+        profile
+            .executed_blocks()
+            .map(|b| os.layout.addr(b))
+            .max()
+            .unwrap()
+    };
+    let base_spread = spread(OsLayoutKind::Base);
+    let opt_spread = spread(OsLayoutKind::OptS);
+    assert!(
+        opt_spread * 2 < base_spread,
+        "OptS hot region {opt_spread} not much tighter than Base {base_spread}"
+    );
+}
