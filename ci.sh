@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+# Must pass on an air-gapped machine with only the Rust toolchain.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

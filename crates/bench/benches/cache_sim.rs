@@ -1,9 +1,17 @@
-//! Criterion benches for the cache simulator: fetch throughput for the
-//! unified, split, and reserved organizations, across geometries.
+//! Timing benches for the cache simulator: fetch throughput for the
+//! unified, split, and reserved organizations, across geometries, plus
+//! the cost of a no-op observability probe (which must be nil).
+//!
+//! Plain `std::time::Instant` harness (`harness = false`), printing the
+//! median wall time per case — no external bench framework, so
+//! `cargo bench` works offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use oslay_bench::timing::bench_case;
 use oslay_cache::{Cache, CacheConfig, InstructionCache, ReservedCache, SplitCache};
 use oslay_model::Domain;
+use oslay_observe::NoopProbe;
 
 /// A deterministic pseudo-random-ish address stream with OS/app phases,
 /// loops and strides — enough structure to exercise hits, misses and
@@ -26,7 +34,11 @@ fn address_stream(n: usize) -> Vec<(u64, Domain)> {
         } else {
             pc += 4; // sequential fetch
         }
-        let base = if domain == Domain::App { 0x4000_0000 } else { 0 };
+        let base = if domain == Domain::App {
+            0x4000_0000
+        } else {
+            0
+        };
         out.push((base + pc, domain));
     }
     out
@@ -42,42 +54,31 @@ fn run(cache: &mut dyn InstructionCache, stream: &[(u64, Domain)]) -> u64 {
     misses
 }
 
-fn bench_unified(c: &mut Criterion) {
+fn main() {
     let stream = address_stream(100_000);
-    let mut group = c.benchmark_group("cache/unified");
-    group.throughput(Throughput::Elements(stream.len() as u64));
+    let n = Some(stream.len() as u64);
+
+    println!("cache/unified:");
     for cfg in [
         CacheConfig::new(8 * 1024, 32, 1),
         CacheConfig::new(8 * 1024, 32, 4),
         CacheConfig::new(32 * 1024, 64, 2),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(cfg), &cfg, |b, &cfg| {
-            b.iter(|| run(&mut Cache::new(cfg), &stream));
+        bench_case(&format!("  {cfg}"), 20, n, || {
+            run(&mut Cache::new(cfg), &stream)
         });
     }
-    group.finish();
-}
 
-fn bench_organizations(c: &mut Criterion) {
-    let stream = address_stream(100_000);
+    println!("cache/organizations:");
     let cfg = CacheConfig::paper_default();
-    let mut group = c.benchmark_group("cache/organizations");
-    group.throughput(Throughput::Elements(stream.len() as u64));
-    group.bench_function("unified", |b| {
-        b.iter(|| run(&mut Cache::new(cfg), &stream));
+    bench_case("  unified", 20, n, || run(&mut Cache::new(cfg), &stream));
+    bench_case("  unified+noop-probe", 20, n, || {
+        run(&mut Cache::with_probe(cfg, Arc::new(NoopProbe)), &stream)
     });
-    group.bench_function("split", |b| {
-        b.iter(|| run(&mut SplitCache::halves_of(cfg), &stream));
+    bench_case("  split", 20, n, || {
+        run(&mut SplitCache::halves_of(cfg), &stream)
     });
-    group.bench_function("reserved", |b| {
-        b.iter(|| run(&mut ReservedCache::paired_with(cfg, 0..1024), &stream));
+    bench_case("  reserved", 20, n, || {
+        run(&mut ReservedCache::paired_with(cfg, 0..1024), &stream)
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_unified, bench_organizations
-}
-criterion_main!(benches);

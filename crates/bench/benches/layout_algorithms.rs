@@ -1,7 +1,10 @@
-//! Criterion benches for the placement algorithms themselves: how long
-//! does it take to lay out a (small-scale) kernel under each scheme?
+//! Timing benches for the placement algorithms themselves: how long does
+//! it take to lay out a (small-scale) kernel under each scheme?
+//!
+//! Plain `std::time::Instant` harness (`harness = false`) — no external
+//! bench framework, so `cargo bench` works offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oslay_bench::timing::bench_case;
 use oslay_layout::{
     base_layout, build_sequences, call_opt_layout, chang_hwu_layout, optimize_os, CallOptParams,
     OptParams, ThresholdSchedule,
@@ -19,39 +22,28 @@ fn setup() -> (oslay_model::Program, Profile, LoopAnalysis) {
     (kernel.program, profile, loops)
 }
 
-fn bench_layouts(c: &mut Criterion) {
+fn main() {
     let (program, profile, loops) = setup();
-    let mut group = c.benchmark_group("layout");
-    group.sample_size(10);
-    group.bench_function("base", |b| b.iter(|| base_layout(&program, 0)));
-    group.bench_function("chang_hwu", |b| {
-        b.iter(|| chang_hwu_layout(&program, &profile, 0))
-    });
-    group.bench_function("sequences_only", |b| {
-        b.iter(|| build_sequences(&program, &profile, &ThresholdSchedule::paper()))
-    });
-    group.bench_function("opt_s", |b| {
-        b.iter(|| optimize_os(&program, &profile, &loops, &OptParams::opt_s(8192)))
-    });
-    group.bench_function("opt_l", |b| {
-        b.iter(|| optimize_os(&program, &profile, &loops, &OptParams::opt_l(8192)))
-    });
-    group.bench_function("call_opt", |b| {
-        b.iter(|| call_opt_layout(&program, &profile, &loops, &CallOptParams::new(8192)))
-    });
-    group.finish();
-}
 
-fn bench_loop_analysis(c: &mut Criterion) {
-    let (program, profile, _) = setup();
-    c.bench_function("profile/loop_analysis", |b| {
-        b.iter(|| LoopAnalysis::analyze(&program, &profile))
+    println!("layout:");
+    bench_case("  base", 10, None, || base_layout(&program, 0));
+    bench_case("  chang_hwu", 10, None, || {
+        chang_hwu_layout(&program, &profile, 0)
+    });
+    bench_case("  sequences_only", 10, None, || {
+        build_sequences(&program, &profile, &ThresholdSchedule::paper())
+    });
+    bench_case("  opt_s", 10, None, || {
+        optimize_os(&program, &profile, &loops, &OptParams::opt_s(8192))
+    });
+    bench_case("  opt_l", 10, None, || {
+        optimize_os(&program, &profile, &loops, &OptParams::opt_l(8192))
+    });
+    bench_case("  call_opt", 10, None, || {
+        call_opt_layout(&program, &profile, &loops, &CallOptParams::new(8192))
+    });
+
+    bench_case("profile/loop_analysis", 10, None, || {
+        LoopAnalysis::analyze(&program, &profile)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_layouts, bench_loop_analysis
-}
-criterion_main!(benches);

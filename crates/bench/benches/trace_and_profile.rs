@@ -1,66 +1,44 @@
-//! Criterion benches for the trace engine and the profiler: block-event
+//! Timing benches for the trace engine and the profiler: block-event
 //! generation rate and profile-collection rate, plus an end-to-end replay
 //! (trace → addresses → cache) — the inner loop of every experiment.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`) — no external
+//! bench framework, so `cargo bench` works offline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use oslay::cache::{Cache, CacheConfig};
 use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+use oslay_bench::timing::bench_case;
 use oslay_model::synth::{generate_kernel, KernelParams, Scale};
 use oslay_profile::Profile;
 use oslay_trace::{standard_workloads, Engine, EngineConfig};
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let kernel = generate_kernel(&KernelParams::at_scale(Scale::Small, 7));
     let specs = standard_workloads(&kernel.tables);
     let blocks = 100_000u64;
-    let mut group = c.benchmark_group("trace/engine");
-    group.throughput(Throughput::Elements(blocks));
-    group.bench_function("shell_100k_blocks", |b| {
-        b.iter(|| {
-            Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(3)).run(blocks)
-        });
-    });
-    group.finish();
-}
 
-fn bench_profile_collect(c: &mut Criterion) {
-    let kernel = generate_kernel(&KernelParams::at_scale(Scale::Small, 7));
-    let specs = standard_workloads(&kernel.tables);
+    println!("trace/engine:");
+    bench_case("  shell_100k_blocks", 10, Some(blocks), || {
+        Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(3)).run(blocks)
+    });
+
     let trace = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(3)).run(100_000);
-    let mut group = c.benchmark_group("profile/collect");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("100k_events", |b| {
-        b.iter(|| Profile::collect(&kernel.program, &trace));
+    println!("profile/collect:");
+    bench_case("  100k_events", 10, Some(trace.len() as u64), || {
+        Profile::collect(&kernel.program, &trace)
     });
-    group.finish();
-}
 
-fn bench_replay(c: &mut Criterion) {
     let study = Study::generate(&StudyConfig::small().with_os_blocks(100_000));
     let case = &study.cases()[3];
     let base = study.os_layout(OsLayoutKind::Base, 8192);
     let opts = study.os_layout(OsLayoutKind::OptS, 8192);
-    let mut group = c.benchmark_group("replay");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(case.trace.os_blocks()));
-    group.bench_function("base_8kb", |b| {
-        b.iter(|| {
-            let mut cache = Cache::new(CacheConfig::paper_default());
-            study.simulate(case, &base.layout, None, &mut cache, &SimConfig::fast())
-        });
+    println!("replay:");
+    bench_case("  base_8kb", 10, Some(case.trace.os_blocks()), || {
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        study.simulate(case, &base.layout, None, &mut cache, &SimConfig::fast())
     });
-    group.bench_function("opts_8kb", |b| {
-        b.iter(|| {
-            let mut cache = Cache::new(CacheConfig::paper_default());
-            study.simulate(case, &opts.layout, None, &mut cache, &SimConfig::fast())
-        });
+    bench_case("  opts_8kb", 10, Some(case.trace.os_blocks()), || {
+        let mut cache = Cache::new(CacheConfig::paper_default());
+        study.simulate(case, &opts.layout, None, &mut cache, &SimConfig::fast())
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engine, bench_profile_collect, bench_replay
-}
-criterion_main!(benches);

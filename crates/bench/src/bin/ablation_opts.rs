@@ -41,9 +41,7 @@ fn main() {
         ),
     ];
 
-    let mut table = TextTable::new([
-        "Workload", "Base", "C-H", "full", "no-scf", "flat-schedule",
-    ]);
+    let mut table = TextTable::new(["Workload", "Base", "C-H", "full", "no-scf", "flat-schedule"]);
     for case in study.cases() {
         let app = study.app_base_layout(case);
         let run = |layout: &oslay::layout::Layout| {

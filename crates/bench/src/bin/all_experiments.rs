@@ -1,148 +1,5 @@
-//! One-shot digest of the whole evaluation: generates a single study and
-//! prints the headline number of every table and figure next to the
-//! paper's value. This is the fastest way to see the reproduction state
-//! end to end; the per-artifact binaries print the full detail.
-
-use oslay::analysis::arcs::ArcDeterminism;
-use oslay::analysis::loops::loop_shape;
-use oslay::analysis::refchar::{ref_characteristics, union_footprint};
-use oslay::analysis::report::{f, pct, TextTable};
-use oslay::analysis::temporal::{InvocationSkew, ReuseDistance};
-use oslay::cache::CacheConfig;
-use oslay::model::ProgramStats;
-use oslay::perf::ExecTimeModel;
-use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args, figure12_ladder, run_case};
+//! One-shot digest of the whole evaluation; see `oslay_bench::digest`.
 
 fn main() {
-    let config = config_from_args();
-    banner("All experiments: one-page digest", &config);
-    let study = Study::generate(&config);
-    let program = &study.kernel().program;
-    let cfg = CacheConfig::paper_default();
-
-    println!("Kernel: {}", ProgramStats::compute(program));
-    println!();
-
-    // --- characterization -------------------------------------------------
-    let mut table = TextTable::new(["Section 3 metric", "paper", "measured"]);
-    let d = ArcDeterminism::measure(study.averaged_os_profile());
-    table.row([
-        "fig03: arcs with P >= 0.99".to_owned(),
-        "73.6%".to_owned(),
-        pct(d.fraction_ge_99()),
-    ]);
-    table.row([
-        "fig03: arcs with P <= 0.01".to_owned(),
-        "6.9%".to_owned(),
-        pct(d.fraction_le_01()),
-    ]);
-    let profiles: Vec<_> = study.cases().iter().map(|c| c.os_profile.clone()).collect();
-    let union = union_footprint(program, &profiles);
-    table.row([
-        "tab01: union code footprint".to_owned(),
-        "18%".to_owned(),
-        pct(union.code_fraction),
-    ]);
-    let rc_range: Vec<f64> = study
-        .cases()
-        .iter()
-        .map(|c| ref_characteristics(program, &c.os_profile, &c.trace).executed_code_fraction)
-        .collect();
-    table.row([
-        "tab01: per-workload footprint".to_owned(),
-        "3.4-13.1%".to_owned(),
-        format!(
-            "{}-{}",
-            pct(rc_range.iter().copied().fold(f64::INFINITY, f64::min)),
-            pct(rc_range.iter().copied().fold(0.0, f64::max))
-        ),
-    ]);
-    let free = loop_shape(study.os_loops().executed_loops().filter(|l| !l.has_calls));
-    let call = loop_shape(study.os_loops().executed_loops().filter(|l| l.has_calls));
-    table.row([
-        "fig04: call-free loops <= 300B".to_owned(),
-        "100%".to_owned(),
-        pct(free.sizes.cumulative_fraction(300.0)),
-    ]);
-    table.row([
-        "fig05: call-loop median span".to_owned(),
-        "2 KB".to_owned(),
-        format!("{:.1} KB", call.median_size / 1024.0),
-    ]);
-    let skew = InvocationSkew::measure(program, study.averaged_os_profile());
-    table.row([
-        "fig06: top-10 routine share".to_owned(),
-        "most".to_owned(),
-        pct(skew.top_share(10) / 100.0),
-    ]);
-    let mut reuse = 0.0;
-    for case in study.cases() {
-        reuse += ReuseDistance::measure(program, &case.os_profile, &case.trace, 10)
-            .reuse_within(1000.0);
-    }
-    table.row([
-        "fig07: reuse within 1000 words".to_owned(),
-        "~70%".to_owned(),
-        pct(reuse / study.cases().len() as f64),
-    ]);
-    print!("{}", table.render());
-    println!();
-
-    // --- evaluation ---------------------------------------------------------
-    println!("Figure 12 (misses normalized to Base = 100, 8KB DM):");
-    let mut table = TextTable::new(["Workload", "C-H", "OptS", "OptL", "OptA"]);
-    let mut opts_rates = Vec::new();
-    let mut base_rates = Vec::new();
-    for case in study.cases() {
-        let mut cells = vec![case.name().to_owned()];
-        let mut base = None;
-        for (name, kind, side) in figure12_ladder() {
-            let r = run_case(&study, case, kind, side, cfg, &SimConfig::fast());
-            let total = r.stats.total_misses();
-            let b = *base.get_or_insert(total);
-            if name != "Base" {
-                cells.push(format!("{:.1}", total as f64 / b as f64 * 100.0));
-            }
-            if name == "Base" {
-                base_rates.push(r.miss_rate());
-            }
-            if name == "OptS" {
-                opts_rates.push(r.miss_rate());
-            }
-        }
-        table.row(cells);
-    }
-    print!("{}", table.render());
-    println!("paper: C-H 43-62, OptS 24-53, OptL ~OptS, OptA = OptS -4..-19%");
-    println!();
-
-    let model = ExecTimeModel::paper(30.0);
-    let mean_speedup: f64 = base_rates
-        .iter()
-        .zip(&opts_rates)
-        .map(|(&b, &o)| model.time_reduction_percent(b, o))
-        .sum::<f64>()
-        / base_rates.len() as f64;
-    println!(
-        "Figure 15-b: mean execution-time reduction of OptS over Base at a 30-cycle \
-         penalty: {:.1}% (paper: \"in the order of 10-25%\")",
-        mean_speedup
-    );
-    println!();
-
-    // Dynamic code growth of the OptS layout (Section 4.3).
-    let opts = study.os_layout(OsLayoutKind::OptS, cfg.size());
-    println!(
-        "Section 4.3: dynamic code growth of OptS: {} (paper: ~2.0%)",
-        pct(opts
-            .layout
-            .dynamic_overhead(program, study.averaged_os_profile()))
-    );
-    println!();
-    println!(
-        "Full details per artifact: the fig*/tab* binaries in crates/bench/src/bin \
-         (see EXPERIMENTS.md). Digest scale factor: {} OS blocks per workload.",
-        f(config.os_blocks as f64, 0)
-    );
+    oslay_bench::digest::run();
 }

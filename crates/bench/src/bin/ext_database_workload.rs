@@ -31,7 +31,10 @@ fn main() {
     let mut dispatch_weights = BTreeMap::new();
     dispatch_weights.insert(
         tables.interrupt,
-        normalize(vec![0.35, 0.05, 0.10, 0.05, 0.40, 0.05], tables.interrupt_arity),
+        normalize(
+            vec![0.35, 0.05, 0.10, 0.05, 0.40, 0.05],
+            tables.interrupt_arity,
+        ),
     );
     dispatch_weights.insert(
         tables.fault,
@@ -78,7 +81,11 @@ fn main() {
     let app_base = oslay::layout::base_layout(&app, oslay::layout::APP_BASE);
     let mut table = TextTable::new(["layout", "misses", "miss rate", "norm"]);
     let mut base_misses = None;
-    for kind in [OsLayoutKind::Base, OsLayoutKind::ChangHwu, OsLayoutKind::OptS] {
+    for kind in [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+    ] {
         let os = study.os_layout(kind, cfg.size());
         let mut cache = Cache::new(cfg);
         let mut misses = 0u64;

@@ -24,7 +24,10 @@ use oslay_bench::{banner, config_from_args, run_case, AppSide};
 
 fn main() {
     let config = config_from_args();
-    banner("Extension: function inlining vs sequences (8KB direct-mapped)", &config);
+    banner(
+        "Extension: function inlining vs sequences (8KB direct-mapped)",
+        &config,
+    );
     let study = Study::generate(&config);
     let program = &study.kernel().program;
     let profile = study.averaged_os_profile();
@@ -36,8 +39,7 @@ fn main() {
     let sites: Vec<BlockId> = program
         .blocks()
         .filter(|(id, blk)| {
-            blk.terminator().callee().is_some()
-                && profile.node_weight(*id) as f64 / total >= 0.0005
+            blk.terminator().callee().is_some() && profile.node_weight(*id) as f64 / total >= 0.0005
         })
         .map(|(id, _)| id)
         .collect();

@@ -84,7 +84,10 @@ fn main() {
     }
     print!("{}", table.render());
     println!();
-    println!("(normalized misses, Base = 100; spread over {} trace seeds)", SEEDS.len());
+    println!(
+        "(normalized misses, Base = 100; spread over {} trace seeds)",
+        SEEDS.len()
+    );
     println!(
         "OptS beats Base under every seed: {}",
         if opts_always_beats_base { "yes" } else { "NO" }

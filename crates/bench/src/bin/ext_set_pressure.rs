@@ -14,7 +14,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Extension: per-set conflict pressure (8KB direct-mapped)", &config);
+    banner(
+        "Extension: per-set conflict pressure (8KB direct-mapped)",
+        &config,
+    );
     let study = Study::generate(&config);
     let cfg = CacheConfig::paper_default();
 
@@ -28,11 +31,21 @@ fn main() {
             "imbalance (cv)",
             "SCF-set misses",
         ]);
-        for kind in [OsLayoutKind::Base, OsLayoutKind::ChangHwu, OsLayoutKind::OptS] {
+        for kind in [
+            OsLayoutKind::Base,
+            OsLayoutKind::ChangHwu,
+            OsLayoutKind::OptS,
+        ] {
             let os = study.os_layout(kind, cfg.size());
             let app = study.app_base_layout(case);
             let mut cache = SetCensus::new(Cache::new(cfg), cfg);
-            let r = study.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast());
+            let r = study.simulate(
+                case,
+                &os.layout,
+                app.as_ref(),
+                &mut cache,
+                &SimConfig::fast(),
+            );
             // Misses landing in the sets covered by the SelfConfFree area
             // (offsets [0, scf_bytes) of each frame).
             let scf_sets = (os.scf_bytes / u64::from(cfg.line())) as usize;

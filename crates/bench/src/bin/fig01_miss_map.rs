@@ -27,7 +27,13 @@ fn main() {
     let base = study.os_layout(OsLayoutKind::Base, CacheConfig::alliant().size());
     let app = study.app_base_layout(case);
     let mut cache = Cache::new(CacheConfig::alliant());
-    let r = study.simulate(case, &base.layout, app.as_ref(), &mut cache, &SimConfig::full());
+    let r = study.simulate(
+        case,
+        &base.layout,
+        app.as_ref(),
+        &mut cache,
+        &SimConfig::full(),
+    );
 
     let total = r.os_miss_map.as_ref().unwrap();
     let selfm = r.os_self_miss_map.as_ref().unwrap();

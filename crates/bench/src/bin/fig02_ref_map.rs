@@ -14,7 +14,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 2: OS references vs code address (Base layout)", &config);
+    banner(
+        "Figure 2: OS references vs code address (Base layout)",
+        &config,
+    );
     let study = Study::generate(&config);
     let base = study.os_layout(OsLayoutKind::Base, 8192);
     let program = &study.kernel().program;

@@ -17,14 +17,7 @@ fn main() {
     let study = Study::generate(&config);
     let program = &study.kernel().program;
 
-    let mut table = TextTable::new([
-        "Workload",
-        "#invoked",
-        "top-1",
-        "top-5",
-        "top-10",
-        "top-20",
-    ]);
+    let mut table = TextTable::new(["Workload", "#invoked", "top-1", "top-5", "top-10", "top-20"]);
     for case in study.cases() {
         let skew = InvocationSkew::measure(program, &case.os_profile);
         table.row([

@@ -13,7 +13,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 7: reuse distance of the 10 hottest routines", &config);
+    banner(
+        "Figure 7: reuse distance of the 10 hottest routines",
+        &config,
+    );
     let study = Study::generate(&config);
     let program = &study.kernel().program;
 
@@ -43,11 +46,8 @@ fn main() {
             "{name}: {} calls measured; distance histogram (instruction words):",
             rd.total_calls
         );
-        let mut items: Vec<(String, f64)> = rd
-            .histogram
-            .rows()
-            .map(|(l, c, _)| (l, c as f64))
-            .collect();
+        let mut items: Vec<(String, f64)> =
+            rd.histogram.rows().map(|(l, c, _)| (l, c as f64)).collect();
         items.push(("Last Inv".to_owned(), rd.last_in_invocation as f64));
         print!("{}", bar_chart(&items, 40));
         println!();

@@ -13,7 +13,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 8: basic-block invocation skew (loops flattened)", &config);
+    banner(
+        "Figure 8: basic-block invocation skew (loops flattened)",
+        &config,
+    );
     let study = Study::generate(&config);
     let skew = BlockSkew::measure(study.averaged_os_profile(), study.os_loops());
 

@@ -15,7 +15,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 10: optimized memory layout (OptL, 8KB logical caches)", &config);
+    banner(
+        "Figure 10: optimized memory layout (OptL, 8KB logical caches)",
+        &config,
+    );
     let study = Study::generate(&config);
     let program = &study.kernel().program;
     let opt = optimize_os(
@@ -51,7 +54,10 @@ fn main() {
         kb(hot_end),
         hot_end.div_ceil(8192)
     );
-    let total: u64 = regions.iter().map(oslay::layout::RegionSummary::bytes).sum();
+    let total: u64 = regions
+        .iter()
+        .map(oslay::layout::RegionSummary::bytes)
+        .sum();
     let cold: u64 = regions
         .iter()
         .filter(|r| r.class == BlockClass::Cold)

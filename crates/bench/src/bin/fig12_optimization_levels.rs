@@ -8,10 +8,10 @@
 //! application.
 
 use oslay::cache::CacheConfig;
-use oslay::model::Domain;
 use oslay::cache::MissKind;
+use oslay::model::Domain;
 use oslay::{SimConfig, Study};
-use oslay_bench::{banner, config_from_args, figure12_ladder, run_case};
+use oslay_bench::{banner, config_from_args, figure12_ladder, run_case_probed, Reporter};
 
 fn main() {
     let config = config_from_args();
@@ -19,6 +19,8 @@ fn main() {
         "Figure 12: miss breakdown by optimization level (8KB direct-mapped, 32B lines)",
         &config,
     );
+    let mut reporter = Reporter::new("fig12_optimization_levels");
+    let registry = reporter.registry();
     let study = Study::generate(&config);
     let cache = CacheConfig::paper_default();
 
@@ -44,8 +46,17 @@ fn main() {
             "layout", "misses", "os-self", "os-byapp", "app-self", "app-byos", "norm"
         );
         let mut base_misses = None;
+        let mut level_rates = Vec::new();
         for (name, os_kind, app_side) in figure12_ladder() {
-            let r = run_case(&study, case, os_kind, app_side, cache, &SimConfig::fast());
+            let r = run_case_probed(
+                &study,
+                case,
+                os_kind,
+                app_side,
+                cache,
+                &SimConfig::fast(),
+                &registry,
+            );
             let total = r.stats.total_misses();
             let base = *base_misses.get_or_insert(total);
             println!(
@@ -58,8 +69,12 @@ fn main() {
                 r.stats.misses(MissKind::AppByOs),
                 total as f64 / base as f64 * 100.0,
             );
+            level_rates.push((name, r.miss_rate()));
             let _ = Domain::Os;
         }
+        reporter.add_section(&format!("fig12.{}", case.name()), level_rates);
         println!();
     }
+    let path = reporter.finish();
+    println!("Run report: {}", path.display());
 }

@@ -51,7 +51,13 @@ fn main() {
             let os = study.os_layout(kind, 8192);
             let app = study.app_base_layout(case);
             let mut cache = Cache::new(CacheConfig::paper_default());
-            let r = study.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::full());
+            let r = study.simulate(
+                case,
+                &os.layout,
+                app.as_ref(),
+                &mut cache,
+                &SimConfig::full(),
+            );
             let bd = class_breakdown(
                 program,
                 &case.os_profile,

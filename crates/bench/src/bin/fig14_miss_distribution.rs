@@ -17,18 +17,31 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 14: OS miss distribution under Base, C-H, OptS", &config);
+    banner(
+        "Figure 14: OS miss distribution under Base, C-H, OptS",
+        &config,
+    );
     let study = Study::generate(&config);
     let base = study.os_layout(OsLayoutKind::Base, 8192);
 
-    for kind in [OsLayoutKind::Base, OsLayoutKind::ChangHwu, OsLayoutKind::OptS] {
+    for kind in [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+    ] {
         let os = study.os_layout(kind, 8192);
         let mut map = AddressHistogram::paper();
         let mut total_misses = 0u64;
         for case in study.cases() {
             let app = study.app_base_layout(case);
             let mut cache = Cache::new(CacheConfig::paper_default());
-            let r = study.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::full());
+            let r = study.simulate(
+                case,
+                &os.layout,
+                app.as_ref(),
+                &mut cache,
+                &SimConfig::full(),
+            );
             let misses = r.os_block_misses.as_ref().unwrap();
             for (i, &m) in misses.iter().enumerate() {
                 if m > 0 {

@@ -12,11 +12,13 @@ use oslay::analysis::report::{f, pct, TextTable};
 use oslay::cache::CacheConfig;
 use oslay::perf::ExecTimeModel;
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args, run_case, AppSide};
+use oslay_bench::{banner, config_from_args, run_case_probed, AppSide, Reporter};
 
 fn main() {
     let config = config_from_args();
     banner("Figure 15: miss rate vs cache size; speedup model", &config);
+    let mut reporter = Reporter::new("fig15_cache_size_speedup");
+    let registry = reporter.registry();
     let study = Study::generate(&config);
     let sizes = [4096u32, 8192, 16384, 32768];
 
@@ -33,15 +35,33 @@ fn main() {
             .into_iter()
             .enumerate()
             {
-                let r = run_case(&study, case, kind, AppSide::Base, cfg, &SimConfig::fast());
+                let r = run_case_probed(
+                    &study,
+                    case,
+                    kind,
+                    AppSide::Base,
+                    cfg,
+                    &SimConfig::fast(),
+                    &registry,
+                );
                 rates[si][wi][li] = r.miss_rate();
             }
+            let [b, ch, opt] = rates[si][wi];
+            reporter.add_section(
+                &format!("fig15a.{}.{}KB", case.name(), size / 1024),
+                [("Base", b), ("C-H", ch), ("OptS", opt)],
+            );
         }
     }
 
     println!("(a) Total instruction miss rates:");
     let mut table = TextTable::new([
-        "Workload/size", "Base", "C-H", "OptS", "C-H/Base", "OptS/C-H",
+        "Workload/size",
+        "Base",
+        "C-H",
+        "OptS",
+        "C-H/Base",
+        "OptS/C-H",
     ]);
     for (wi, case) in study.cases().iter().enumerate() {
         for (si, &size) in sizes.iter().enumerate() {
@@ -70,12 +90,19 @@ fn main() {
         for (si, &size) in sizes.iter().enumerate() {
             let [b, _, opt] = rates[si][wi];
             let mut cells = vec![format!("{} {}KB", case.name(), size / 1024)];
+            let mut fields = Vec::new();
             for p in ExecTimeModel::PAPER_PENALTIES {
                 let m = ExecTimeModel::paper(p);
-                cells.push(format!("+{:.1}%", (m.speedup(b, opt) - 1.0) * 100.0));
+                let gain = (m.speedup(b, opt) - 1.0) * 100.0;
+                cells.push(format!("+{gain:.1}%"));
+                fields.push((format!("penalty{p:.0}_pct"), gain));
             }
+            reporter.add_section(&format!("fig15b.{}.{}KB", case.name(), size / 1024), fields);
             table.row(cells);
         }
     }
     print!("{}", table.render());
+    println!();
+    let path = reporter.finish();
+    println!("Run report: {}", path.display());
 }

@@ -49,7 +49,13 @@ fn main() {
                 let os = study.os_layout(OsLayoutKind::Base, size);
                 let mut cache = Cache::new(CacheConfig::new(size, 32, 1));
                 study
-                    .simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+                    .simulate(
+                        case,
+                        &os.layout,
+                        app.as_ref(),
+                        &mut cache,
+                        &SimConfig::fast(),
+                    )
                     .stats
                     .total_misses()
             };
@@ -58,7 +64,13 @@ fn main() {
                 let os = study.os_opt_s_with_scf(size, cutoff);
                 let mut cache = Cache::new(CacheConfig::new(size, 32, 1));
                 let misses = study
-                    .simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
+                    .simulate(
+                        case,
+                        &os.layout,
+                        app.as_ref(),
+                        &mut cache,
+                        &SimConfig::fast(),
+                    )
                     .stats
                     .total_misses();
                 cells.push(format!("{:.1}", misses as f64 / base as f64 * 100.0));

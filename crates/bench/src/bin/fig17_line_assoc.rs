@@ -38,7 +38,10 @@ fn sweep(study: &Study, configs: &[(String, CacheConfig)]) {
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 17: line-size and associativity sweeps (8KB)", &config);
+    banner(
+        "Figure 17: line-size and associativity sweeps (8KB)",
+        &config,
+    );
     let study = Study::generate(&config);
 
     println!("(a) Line size (direct-mapped):");

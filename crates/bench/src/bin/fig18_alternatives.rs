@@ -17,7 +17,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Figure 18: Sep / Resv / Call alternatives (8KB budget)", &config);
+    banner(
+        "Figure 18: Sep / Resv / Call alternatives (8KB budget)",
+        &config,
+    );
     let study = Study::generate(&config);
     let cfg = CacheConfig::paper_default();
 
@@ -37,8 +40,8 @@ fn main() {
         let mut cells = vec![case.name().to_owned()];
 
         let run = |os: &oslay::layout::Layout,
-                       app: Option<&oslay::layout::Layout>,
-                       cache: &mut dyn InstructionCache| {
+                   app: Option<&oslay::layout::Layout>,
+                   cache: &mut dyn InstructionCache| {
             study
                 .simulate(case, os, app, cache, &SimConfig::fast())
                 .stats

@@ -52,10 +52,9 @@ fn main() {
         pct(rcs[i].os_reference_share)
     }));
     for (k, kind) in oslay_model::SeedKind::ALL.iter().enumerate() {
-        table.row(row(
-            &format!("{kind} Invoc. (% of Total Invoc.)"),
-            &|i| format!("{:.1}%", mix_rows(rcs[i].invocation_mix)[k].1),
-        ));
+        table.row(row(&format!("{kind} Invoc. (% of Total Invoc.)"), &|i| {
+            format!("{:.1}%", mix_rows(rcs[i].invocation_mix)[k].1)
+        }));
     }
     print!("{}", table.render());
 

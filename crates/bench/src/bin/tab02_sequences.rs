@@ -30,7 +30,13 @@ fn main() {
             let app = study.app_base_layout(case);
             let mut cache = Cache::new(CacheConfig::paper_default());
             study
-                .simulate(case, &base.layout, app.as_ref(), &mut cache, &SimConfig::full())
+                .simulate(
+                    case,
+                    &base.layout,
+                    app.as_ref(),
+                    &mut cache,
+                    &SimConfig::full(),
+                )
                 .os_block_misses
                 .expect("block misses requested")
         })

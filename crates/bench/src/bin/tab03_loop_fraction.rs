@@ -12,7 +12,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Table 3: OS instructions in loops without procedure calls", &config);
+    banner(
+        "Table 3: OS instructions in loops without procedure calls",
+        &config,
+    );
     let study = Study::generate(&config);
     let program = &study.kernel().program;
 

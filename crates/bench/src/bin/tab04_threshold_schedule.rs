@@ -15,7 +15,10 @@ use oslay_bench::{banner, config_from_args};
 
 fn main() {
     let config = config_from_args();
-    banner("Table 4: threshold schedule and resulting sequences", &config);
+    banner(
+        "Table 4: threshold schedule and resulting sequences",
+        &config,
+    );
     let study = Study::generate(&config);
     let schedule = ThresholdSchedule::paper();
     let seqs = build_sequences(
@@ -24,13 +27,7 @@ fn main() {
         &schedule,
     );
 
-    let mut table = TextTable::new([
-        "ExecThresh",
-        "Interrupt",
-        "PageFault",
-        "SysCall",
-        "Other",
-    ]);
+    let mut table = TextTable::new(["ExecThresh", "Interrupt", "PageFault", "SysCall", "Other"]);
     for (pass_idx, pass) in schedule.passes.iter().enumerate() {
         // Row 1: branch thresholds; Row 2: blocks; Row 3: bytes.
         let mut bt_cells = vec![format!("{:.4}%", pass.exec * 100.0)];
@@ -48,7 +45,9 @@ fn main() {
                         .sequences()
                         .iter()
                         .filter(|s| s.pass == pass_idx && s.seed == kind)
-                        .fold((0usize, 0u64), |(b, y), s| (b + s.blocks.len(), y + s.bytes));
+                        .fold((0usize, 0u64), |(b, y), s| {
+                            (b + s.blocks.len(), y + s.bytes)
+                        });
                     bt_cells.push(format!("BranchThresh {bt}"));
                     bb_cells.push(blocks.to_string());
                     by_cells.push(bytes.to_string());

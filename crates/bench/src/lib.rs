@@ -12,10 +12,16 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use oslay::cache::{Cache, CacheConfig, InstructionCache};
 use oslay::{OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, WorkloadCase};
 use oslay_layout::Layout;
 use oslay_model::synth::Scale;
+use oslay_observe::{global_recorder, MetricRegistry, Probe, RunReport};
 
 /// Parses the common experiment arguments into a [`StudyConfig`].
 ///
@@ -99,6 +105,123 @@ pub fn run_case(
     };
     let mut cache = Cache::new(cache_cfg);
     study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim)
+}
+
+/// Like [`run_case`], but routes the cache's miss/eviction events into
+/// `registry` and records a final set-occupancy snapshot, so the run
+/// report carries `cache.*` metrics alongside the aggregate statistics.
+#[must_use]
+pub fn run_case_probed(
+    study: &Study,
+    case: &WorkloadCase,
+    os_kind: OsLayoutKind,
+    app_side: AppSide,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    registry: &Arc<MetricRegistry>,
+) -> SimResult {
+    let os = study.os_layout(os_kind, cache_cfg.size());
+    let app = match app_side {
+        AppSide::Base => study.app_base_layout(case),
+        AppSide::Optimized => study.app_opt_layout(case, cache_cfg.size()),
+        AppSide::ChangHwu => study.app_ch_layout(case),
+    };
+    let probe: Arc<dyn Probe + Send + Sync> = Arc::clone(registry) as _;
+    let mut cache = Cache::with_probe(cache_cfg, probe);
+    let result = study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim);
+    cache.record_occupancy();
+    result
+}
+
+/// JSON run-report plumbing shared by the experiment binaries.
+///
+/// Owns the [`MetricRegistry`] that probed caches feed
+/// ([`run_case_probed`]) and the [`RunReport`] under construction.
+/// [`Reporter::finish`] folds in the global phase-span recorder and
+/// writes `results/<name>.json` beside the `.txt` capture of stdout.
+#[derive(Debug)]
+pub struct Reporter {
+    registry: Arc<MetricRegistry>,
+    report: RunReport,
+}
+
+impl Reporter {
+    /// Creates a reporter for the named run.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            registry: Arc::new(MetricRegistry::new()),
+            report: RunReport::new(name),
+        }
+    }
+
+    /// The registry probed caches should feed.
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Appends a section of numeric fields to the report.
+    pub fn add_section<S: Into<String>>(
+        &mut self,
+        name: &str,
+        fields: impl IntoIterator<Item = (S, f64)>,
+    ) {
+        self.report.add_section(name, fields);
+    }
+
+    /// Folds the metric registry and the global span recorder into the
+    /// report and writes it to `results/<name>.json`, returning the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report cannot be written.
+    pub fn finish(mut self) -> PathBuf {
+        self.report.add_spans(global_recorder());
+        self.report.add_metrics(&self.registry);
+        let path = PathBuf::from(format!("results/{}.json", self.report.name()));
+        self.report.write(&path).expect("write run report");
+        path
+    }
+}
+
+/// Minimal `std`-only timing harness backing the `benches/` targets
+/// (`harness = false`), so `cargo bench` works on an air-gapped machine.
+///
+/// Each case runs a warmup pass, then `samples` timed passes, and prints
+/// the median wall time (median, not mean: robust to one slow sample from
+/// a scheduler hiccup) plus throughput when an element count is given.
+pub mod timing {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Times `f` over `samples` runs and returns the median duration.
+    pub fn median_time<T>(samples: usize, mut f: impl FnMut() -> T) -> Duration {
+        assert!(samples > 0, "need at least one sample");
+        black_box(f()); // warmup
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    /// Runs one named case and prints its median time (and element
+    /// throughput, when `elements` is given).
+    pub fn bench_case<T>(name: &str, samples: usize, elements: Option<u64>, f: impl FnMut() -> T) {
+        let median = median_time(samples, f);
+        match elements {
+            Some(n) => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{name:<40} {median:>12.2?}   {rate:>12.0} elem/s");
+            }
+            None => println!("{name:<40} {median:>12.2?}"),
+        }
+    }
 }
 
 /// Evaluates one workload with explicit layouts on an arbitrary cache

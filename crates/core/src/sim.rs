@@ -86,6 +86,7 @@ impl Study {
             "workload {} traces an application: supply its layout",
             case.name()
         );
+        let _span = oslay_observe::span("study.sim");
         let mut os_miss_map = config.os_miss_map.then(AddressHistogram::paper);
         let mut os_self_miss_map = config.os_miss_map.then(AddressHistogram::paper);
         let mut os_cross_miss_map = config.os_miss_map.then(AddressHistogram::paper);
@@ -93,7 +94,12 @@ impl Study {
             .block_misses
             .then(|| vec![0u64; self.kernel().program.num_blocks()]);
         let mut app_block_misses = config.block_misses.then(|| {
-            vec![0u64; case.app.as_ref().map_or(0, oslay_model::Program::num_blocks)]
+            vec![
+                0u64;
+                case.app
+                    .as_ref()
+                    .map_or(0, oslay_model::Program::num_blocks)
+            ]
         });
 
         for event in case.trace.events() {
@@ -178,7 +184,11 @@ mod tests {
         // Every OS block contributes its fetch words.
         let mut expected = 0u64;
         for event in case.trace.events() {
-            if let TraceEvent::Block { id, domain: Domain::Os } = *event {
+            if let TraceEvent::Block {
+                id,
+                domain: Domain::Os,
+            } = *event
+            {
                 expected += u64::from(base.layout.fetch_words(id));
             }
         }
@@ -245,7 +255,13 @@ mod tests {
         let base = s.os_layout(OsLayoutKind::Base, 8192);
         let app_base = s.app_base_layout(case).unwrap();
         let mut cache = Cache::new(CacheConfig::paper_default());
-        let r = s.simulate(case, &base.layout, Some(&app_base), &mut cache, &SimConfig::fast());
+        let r = s.simulate(
+            case,
+            &base.layout,
+            Some(&app_base),
+            &mut cache,
+            &SimConfig::fast(),
+        );
         assert!(r.stats.accesses(Domain::App) > 0);
     }
 

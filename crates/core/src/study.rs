@@ -167,14 +167,21 @@ pub struct Study {
 impl Study {
     /// Generates the kernel, the four standard workloads, their traces and
     /// profiles. Deterministic in `config`.
+    ///
+    /// Each stage reports a phase span (`study.synth.kernel`,
+    /// `study.synth.app`, `study.trace`, `study.profile`, `study.loops`)
+    /// to the global [`oslay_observe`] recorder.
     #[must_use]
     pub fn generate(config: &StudyConfig) -> Self {
-        let kernel = generate_kernel(&KernelParams::at_scale(config.scale, config.seed));
+        let kernel = oslay_observe::global_recorder().time("study.synth.kernel", || {
+            generate_kernel(&KernelParams::at_scale(config.scale, config.seed))
+        });
         let specs = standard_workloads(&kernel.tables);
         let mut cases = Vec::new();
         for (i, (workload, spec)) in StandardWorkload::ALL.iter().zip(specs).enumerate() {
             let components = workload.app_components();
             let app = if spec.has_app() && !components.is_empty() {
+                let _g = oslay_observe::span("study.synth.app");
                 Some(generate_app_mix(
                     &components,
                     &AppParams::new(config.seed ^ (0xA00 + i as u64)).with_scale(config.app_scale),
@@ -188,7 +195,11 @@ impl Study {
                 &spec,
                 EngineConfig::new(config.seed ^ (0x7_0000 + i as u64)),
             );
-            let trace = engine.run(config.os_blocks);
+            let trace = {
+                let _g = oslay_observe::span("study.trace");
+                engine.run(config.os_blocks)
+            };
+            let _g = oslay_observe::span("study.profile");
             let os_profile = Profile::collect(&kernel.program, &trace);
             let app_profile = app.as_ref().map(|a| Profile::collect(a, &trace));
             cases.push(WorkloadCase {
@@ -200,8 +211,13 @@ impl Study {
                 app_profile,
             });
         }
-        let os_profile_avg =
-            Profile::merge_all(&cases.iter().map(|c| c.os_profile.clone()).collect::<Vec<_>>());
+        let _g = oslay_observe::span("study.loops");
+        let os_profile_avg = Profile::merge_all(
+            &cases
+                .iter()
+                .map(|c| c.os_profile.clone())
+                .collect::<Vec<_>>(),
+        );
         let loops = LoopAnalysis::analyze(&kernel.program, &os_profile_avg);
         Self {
             config: config.clone(),
@@ -244,9 +260,11 @@ impl Study {
         &self.loops
     }
 
-    /// Builds an OS layout for the given cache size.
+    /// Builds an OS layout for the given cache size. Reports a
+    /// `study.layout.<name>` phase span to the global recorder.
     #[must_use]
     pub fn os_layout(&self, kind: OsLayoutKind, cache_size: u32) -> OsLayout {
+        let _g = oslay_observe::global_recorder().span(&format!("study.layout.{}", kind.name()));
         let program = &self.kernel.program;
         match kind {
             OsLayoutKind::Base => OsLayout {
@@ -361,7 +379,11 @@ mod tests {
     #[test]
     fn averaged_profile_sums_cases() {
         let s = study();
-        let total: u64 = s.cases().iter().map(|c| c.os_profile.total_node_weight()).sum();
+        let total: u64 = s
+            .cases()
+            .iter()
+            .map(|c| c.os_profile.total_node_weight())
+            .sum();
         assert_eq!(s.averaged_os_profile().total_node_weight(), total);
     }
 
@@ -384,6 +406,28 @@ mod tests {
         assert!(s.app_ch_layout(case).is_some());
         let shell = &s.cases()[3];
         assert!(s.app_base_layout(shell).is_none());
+    }
+
+    #[test]
+    fn generate_records_phase_spans() {
+        let s = study();
+        let _ = s.os_layout(OsLayoutKind::OptS, 8192);
+        let totals = oslay_observe::global_recorder().totals();
+        // Other tests share the global recorder, so only check presence
+        // (never reset here).
+        for phase in [
+            "study.synth.kernel",
+            "study.synth.app",
+            "study.trace",
+            "study.profile",
+            "study.loops",
+            "study.layout.OptS",
+        ] {
+            assert!(
+                totals.iter().any(|t| t.name == phase && t.count > 0),
+                "missing phase span {phase}"
+            );
+        }
     }
 
     #[test]

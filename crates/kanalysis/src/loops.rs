@@ -99,9 +99,8 @@ pub struct LoopShape {
 /// Figure 5: with calls).
 #[must_use]
 pub fn loop_shape<'a>(loops: impl Iterator<Item = &'a NaturalLoop>) -> LoopShape {
-    let mut iterations = BoundedHistogram::new(vec![
-        1.0, 2.0, 4.0, 6.0, 10.0, 25.0, 50.0, 100.0, 300.0,
-    ]);
+    let mut iterations =
+        BoundedHistogram::new(vec![1.0, 2.0, 4.0, 6.0, 10.0, 25.0, 50.0, 100.0, 300.0]);
     let mut sizes = BoundedHistogram::new(vec![
         50.0, 100.0, 300.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0,
     ]);

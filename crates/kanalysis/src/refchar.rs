@@ -108,7 +108,10 @@ mod tests {
         assert!((0.0..1.0).contains(&rc.executed_block_fraction));
         assert!((0.0..1.0).contains(&rc.invoked_routine_fraction));
         assert!((rc.invocation_mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!((rc.os_reference_share - 1.0).abs() < 1e-12, "Shell is OS-only");
+        assert!(
+            (rc.os_reference_share - 1.0).abs() < 1e-12,
+            "Shell is OS-only"
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl BlockSkew {
             .sum();
         let mut ranked: Vec<(BlockId, f64)> = profile
             .executed_blocks()
-            .map(|b| (b, loops.flattened_weight(b, profile) / total.max(1.0) * 100.0))
+            .map(|b| {
+                (
+                    b,
+                    loops.flattened_weight(b, profile) / total.max(1.0) * 100.0,
+                )
+            })
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         Self { ranked }
@@ -70,7 +75,10 @@ impl BlockSkew {
     /// Number of blocks whose share is at least `percent`.
     #[must_use]
     pub fn blocks_above(&self, percent: f64) -> usize {
-        self.ranked.iter().take_while(|&&(_, p)| p >= percent).count()
+        self.ranked
+            .iter()
+            .take_while(|&&(_, p)| p >= percent)
+            .count()
     }
 }
 
@@ -247,9 +255,6 @@ mod tests {
         let rd = ReuseDistance::measure(&program, &profile, &trace, 5);
         // Every call either has a successor call in its invocation
         // (recorded as a distance) or is a last call.
-        assert_eq!(
-            rd.histogram.total() + rd.last_in_invocation,
-            rd.total_calls
-        );
+        assert_eq!(rd.histogram.total() + rd.last_in_invocation, rd.total_calls);
     }
 }

@@ -25,7 +25,10 @@ impl CacheConfig {
     pub fn new(size: u32, line: u32, ways: u32) -> Self {
         assert!(size.is_power_of_two(), "cache size must be a power of two");
         assert!(line.is_power_of_two(), "line size must be a power of two");
-        assert!(ways.is_power_of_two(), "associativity must be a power of two");
+        assert!(
+            ways.is_power_of_two(),
+            "associativity must be a power of two"
+        );
         assert!(line <= size, "line larger than cache");
         assert!(ways <= size / line, "more ways than lines");
         Self { size, line, ways }
@@ -103,13 +106,7 @@ impl CacheConfig {
 
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}KB/{}B/{}-way",
-            self.size / 1024,
-            self.line,
-            self.ways
-        )
+        write!(f, "{}KB/{}B/{}-way", self.size / 1024, self.line, self.ways)
     }
 }
 

@@ -11,6 +11,7 @@
 use std::ops::Range;
 
 use oslay_model::Domain;
+use oslay_observe::Probe;
 
 use crate::{AccessOutcome, Cache, CacheConfig, InstructionCache, MissStats};
 
@@ -69,6 +70,37 @@ impl ReservedCache {
     pub fn main_config(&self) -> CacheConfig {
         self.main.config()
     }
+
+    /// Statistics of the small reserved cache alone.
+    #[must_use]
+    pub fn reserved_stats(&self) -> &MissStats {
+        self.small.stats()
+    }
+
+    /// Hit rate inside the reserved area (0.0 before any reserved
+    /// access). This is the number the paper's Resv evaluation hinges
+    /// on: how much of the hot OS footprint the tiny cache captures.
+    #[must_use]
+    pub fn reserved_hit_rate(&self) -> f64 {
+        let stats = self.small.stats();
+        if stats.total_accesses() == 0 {
+            return 0.0;
+        }
+        1.0 - stats.miss_rate()
+    }
+
+    /// Reports reserved-area effectiveness to `probe`: the
+    /// `cache.reserved.hit_rate` gauge plus `cache.reserved.accesses`
+    /// and `cache.reserved.misses` counters.
+    pub fn record_reserved_metrics(&self, probe: &dyn Probe) {
+        let stats = self.small.stats();
+        if stats.total_accesses() == 0 {
+            return;
+        }
+        probe.gauge_set("cache.reserved.hit_rate", self.reserved_hit_rate());
+        probe.counter_add("cache.reserved.accesses", stats.total_accesses());
+        probe.counter_add("cache.reserved.misses", stats.total_misses());
+    }
 }
 
 impl InstructionCache for ReservedCache {
@@ -110,7 +142,7 @@ mod tests {
     fn reserved_os_code_is_immune_to_app_traffic() {
         let mut c = complex();
         c.access(0, Domain::Os); // reserved, small cache
-        // App traffic that would conflict in a unified cache.
+                                 // App traffic that would conflict in a unified cache.
         for i in 0..32u64 {
             c.access(0x4000 + i * 16, Domain::App);
         }
@@ -148,6 +180,25 @@ mod tests {
         assert_eq!(c.small_config().size(), 1024);
         assert!(c.main_config().size() >= 4096);
         assert_eq!(c.reserved_range(), 0..1024);
+    }
+
+    #[test]
+    fn reserved_hit_rate_and_metrics() {
+        use oslay_observe::MetricRegistry;
+
+        let mut c = complex();
+        assert_eq!(c.reserved_hit_rate(), 0.0, "no reserved traffic yet");
+        c.access(0, Domain::Os); // reserved: cold miss
+        c.access(0, Domain::Os); // reserved: hit
+        c.access(0x2000, Domain::Os); // main cache only
+        assert!((c.reserved_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.reserved_stats().total_accesses(), 2);
+
+        let reg = MetricRegistry::new();
+        c.record_reserved_metrics(&reg);
+        assert_eq!(reg.gauge("cache.reserved.hit_rate"), Some(0.5));
+        assert_eq!(reg.counter("cache.reserved.accesses"), 2);
+        assert_eq!(reg.counter("cache.reserved.misses"), 1);
     }
 
     #[test]

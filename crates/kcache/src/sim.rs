@@ -1,8 +1,10 @@
 //! The core set-associative LRU cache simulator.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use oslay_model::Domain;
+use oslay_observe::Probe;
 
 use crate::{CacheConfig, InstructionCache, MissStats};
 
@@ -57,6 +59,19 @@ impl MissKind {
             MissKind::OsByApp => "os-by-app",
             MissKind::AppSelf => "app-self",
             MissKind::AppByOs => "app-by-os",
+        }
+    }
+
+    /// Metric name in the `cache.*` namespace counting misses of this
+    /// kind.
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            MissKind::Cold => "cache.miss.cold",
+            MissKind::OsSelf => "cache.miss.os-self",
+            MissKind::OsByApp => "cache.miss.os-by-app",
+            MissKind::AppSelf => "cache.miss.app-self",
+            MissKind::AppByOs => "cache.miss.app-by-os",
         }
     }
 
@@ -121,7 +136,7 @@ impl Way {
 /// );
 /// assert_eq!(cache.access(0x104, Domain::Os), AccessOutcome::Hit);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     ways: Vec<Way>,
@@ -131,6 +146,20 @@ pub struct Cache {
     seen: std::collections::HashSet<u64>,
     clock: u64,
     stats: MissStats,
+    /// Consulted only on the miss path and in
+    /// [`Cache::record_occupancy`], never on hits.
+    probe: Option<Arc<dyn Probe + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("cfg", &self.cfg)
+            .field("clock", &self.clock)
+            .field("stats", &self.stats)
+            .field("probe", &self.probe.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Cache {
@@ -145,13 +174,49 @@ impl Cache {
             seen: std::collections::HashSet::new(),
             clock: 0,
             stats: MissStats::default(),
+            probe: None,
         }
+    }
+
+    /// Creates an empty cache reporting metrics to `probe`: miss
+    /// counters by kind (`cache.miss.*`) and evictions by evictor domain
+    /// (`cache.evict.*`). The probe is touched only when an access
+    /// misses, so hit-path cost is identical to [`Cache::new`].
+    #[must_use]
+    pub fn with_probe(cfg: CacheConfig, probe: Arc<dyn Probe + Send + Sync>) -> Self {
+        let mut cache = Self::new(cfg);
+        cache.probe = Some(probe);
+        cache
+    }
+
+    /// Attaches (or with `None` detaches) a probe after construction.
+    pub fn set_probe(&mut self, probe: Option<Arc<dyn Probe + Send + Sync>>) {
+        self.probe = probe;
     }
 
     /// This cache's geometry.
     #[must_use]
     pub fn config(&self) -> CacheConfig {
         self.cfg
+    }
+
+    /// Reports the current fill state to the attached probe: one
+    /// `cache.set_occupancy` histogram sample per set (number of valid
+    /// ways) and the overall fill fraction as the `cache.occupancy`
+    /// gauge. No-op without a probe.
+    pub fn record_occupancy(&self) {
+        let Some(probe) = &self.probe else { return };
+        let w = self.cfg.ways() as usize;
+        let mut valid_total = 0usize;
+        for set in self.ways.chunks(w) {
+            let occupied = set.iter().filter(|way| way.valid).count();
+            valid_total += occupied;
+            probe.histogram_record("cache.set_occupancy", occupied as u64);
+        }
+        probe.gauge_set(
+            "cache.occupancy",
+            valid_total as f64 / self.ways.len() as f64,
+        );
     }
 
     fn set_slice(&mut self, set: u32) -> &mut [Way] {
@@ -199,6 +264,18 @@ impl InstructionCache for Cache {
         } else {
             MissKind::classify(domain, self.evicted_by.get(&line).copied())
         };
+        if let Some(probe) = &self.probe {
+            probe.counter_add(kind.metric_name(), 1);
+            if evictee.valid {
+                probe.counter_add(
+                    match domain {
+                        Domain::Os => "cache.evict.by_os",
+                        Domain::App => "cache.evict.by_app",
+                    },
+                    1,
+                );
+            }
+        }
         let outcome = AccessOutcome::Miss(kind);
         self.stats.record(domain, outcome);
         outcome
@@ -232,7 +309,10 @@ mod tests {
         assert_eq!(c.access(0, Domain::Os), AccessOutcome::Miss(MissKind::Cold));
         assert_eq!(c.access(4, Domain::Os), AccessOutcome::Hit);
         assert_eq!(c.access(15, Domain::Os), AccessOutcome::Hit);
-        assert_eq!(c.access(16, Domain::Os), AccessOutcome::Miss(MissKind::Cold));
+        assert_eq!(
+            c.access(16, Domain::Os),
+            AccessOutcome::Miss(MissKind::Cold)
+        );
     }
 
     #[test]
@@ -330,6 +410,29 @@ mod tests {
             MissKind::classify(Domain::App, Some(Domain::Os)),
             MissKind::AppByOs
         );
+    }
+
+    #[test]
+    fn probe_sees_misses_evictions_and_occupancy() {
+        use oslay_observe::MetricRegistry;
+
+        let reg = Arc::new(MetricRegistry::new());
+        let mut c = Cache::with_probe(CacheConfig::new(64, 16, 1), reg.clone());
+        c.access(0, Domain::Os); // cold
+        c.access(64, Domain::App); // cold; app evicts the OS line
+        c.access(0, Domain::Os); // os-by-app; OS evicts the app line
+        c.access(0, Domain::Os); // hit: must not touch the probe
+        assert_eq!(reg.counter("cache.miss.cold"), 2);
+        assert_eq!(reg.counter("cache.miss.os-by-app"), 1);
+        assert_eq!(reg.counter("cache.evict.by_app"), 1);
+        assert_eq!(reg.counter("cache.evict.by_os"), 1);
+
+        c.record_occupancy();
+        // 4 direct-mapped sets, exactly one holds a line.
+        let occ = reg.histogram("cache.set_occupancy").expect("histogram");
+        assert_eq!(occ.count(), 4);
+        assert_eq!(occ.sum(), 1);
+        assert_eq!(reg.gauge("cache.occupancy"), Some(0.25));
     }
 
     #[test]

@@ -93,8 +93,7 @@ mod tests {
     fn setup() -> (oslay_model::Program, oslay_trace::Trace) {
         let kernel = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 5));
         let specs = standard_workloads(&kernel.tables);
-        let trace =
-            Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(2)).run(2_000);
+        let trace = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(2)).run(2_000);
         (kernel.program, trace)
     }
 

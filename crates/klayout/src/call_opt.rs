@@ -20,9 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use oslay_model::{BlockId, Program, RoutineId, Terminator, WORD_BYTES};
 use oslay_profile::{CallGraph, LoopAnalysis, Profile};
 
-use crate::{
-    build_sequences, BlockClass, LogicalCacheAllocator, OptLayout, ThresholdSchedule,
-};
+use crate::{build_sequences, BlockClass, LogicalCacheAllocator, OptLayout, ThresholdSchedule};
 
 /// Parameters of the Section 4.4 optimization.
 #[derive(Clone, Debug)]
@@ -271,11 +269,21 @@ pub fn call_opt_layout(
     alloc.fill_cold_from(high_water, cold);
 
     let layout = alloc.finish().expect("Call layout places all blocks");
+    let audit = crate::opts::build_audit(
+        "Call",
+        &layout,
+        &classes,
+        &sequences,
+        &params.schedule,
+        scf_bytes,
+        cache,
+    );
     OptLayout {
         layout,
         classes,
         scf_bytes,
         sequences,
+        audit,
     }
 }
 

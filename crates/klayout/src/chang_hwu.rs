@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use oslay_model::{BlockId, Program, RoutineId, Terminator};
+use oslay_observe::{PlacementAudit, PlacementRecord};
 use oslay_profile::{CallGraph, Profile};
 
 use crate::{Layout, LayoutBuilder};
@@ -27,13 +28,40 @@ use crate::{Layout, LayoutBuilder};
 /// to both in Section 5.1).
 #[must_use]
 pub fn chang_hwu_layout(program: &Program, profile: &Profile, base_addr: u64) -> Layout {
+    chang_hwu_audited(program, profile, base_addr).0
+}
+
+/// Like [`chang_hwu_layout`], but also returns the placement audit:
+/// executed blocks get area `trace_order`, never-executed blocks
+/// `source_order`, and `pass` records the Pettis–Hansen rank of the
+/// block's routine in the final routine order.
+#[must_use]
+pub fn chang_hwu_audited(
+    program: &Program,
+    profile: &Profile,
+    base_addr: u64,
+) -> (Layout, PlacementAudit) {
     let mut lb = LayoutBuilder::new(program, "C-H", base_addr);
-    for routine in routine_order(program, profile) {
+    let mut placements: Vec<(BlockId, usize)> = Vec::with_capacity(program.num_blocks());
+    for (rank, routine) in routine_order(program, profile).into_iter().enumerate() {
         for block in trace_order(program, profile, routine) {
             lb.place(block);
+            placements.push((block, rank));
         }
     }
-    lb.finish().expect("every routine placed exactly once")
+    let layout = lb.finish().expect("every routine placed exactly once");
+    let mut audit = PlacementAudit::new("C-H");
+    for (block, rank) in placements {
+        let area = if profile.node_weight(block) > 0 {
+            "trace_order"
+        } else {
+            "source_order"
+        };
+        let mut rec = PlacementRecord::area_only(block.index(), layout.addr(block), area);
+        rec.pass = Some(rank);
+        audit.record(rec);
+    }
+    (layout, audit)
 }
 
 /// Intra-routine successor weights. Measured arcs are used directly; a
@@ -175,11 +203,7 @@ fn routine_order(program: &Program, profile: &Profile) -> Vec<RoutineId> {
             .max()
             .unwrap_or(0)
     };
-    chain_list.sort_by(|a, b| {
-        heat(b)
-            .cmp(&heat(a))
-            .then(a.first().cmp(&b.first()))
-    });
+    chain_list.sort_by(|a, b| heat(b).cmp(&heat(a)).then(a.first().cmp(&b.first())));
     chain_list.into_iter().flatten().collect()
 }
 
@@ -285,5 +309,25 @@ mod tests {
         let a = chang_hwu_layout(&program, &profile, 0);
         let b = chang_hwu_layout(&program, &profile, 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn audit_covers_every_block_with_routine_rank() {
+        let (program, profile) = setup();
+        let (layout, audit) = chang_hwu_audited(&program, &profile, 0);
+        assert_eq!(audit.len(), program.num_blocks());
+        assert_eq!(audit.pass_name(), "C-H");
+        for (id, _) in program.blocks() {
+            let rec = audit.lookup(id.index()).expect("record per block");
+            assert_eq!(rec.addr, layout.addr(id));
+            assert!(rec.pass.is_some(), "routine rank recorded");
+            let expected = if profile.node_weight(id) > 0 {
+                "trace_order"
+            } else {
+                "source_order"
+            };
+            assert_eq!(rec.area, expected);
+        }
+        assert!(audit.area_count("trace_order") > 0);
     }
 }

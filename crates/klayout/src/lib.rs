@@ -32,20 +32,20 @@ mod call_opt;
 mod chang_hwu;
 mod layout;
 mod logical;
-mod opts;
 mod optapp;
+mod opts;
 mod seq;
 mod summary;
 
 pub use address::{fetch_stream, FetchStream};
 pub use base::base_layout;
 pub use call_opt::{call_opt_layout, CallOptParams};
-pub use chang_hwu::chang_hwu_layout;
+pub use chang_hwu::{chang_hwu_audited, chang_hwu_layout};
 pub use layout::{Layout, LayoutBuilder, LayoutError};
 pub use logical::LogicalCacheAllocator;
+pub use optapp::{optimize_app, optimize_app_audited};
 pub use opts::{optimize_os, BlockClass, OptLayout, OptParams};
-pub use optapp::optimize_app;
-pub use seq::{build_sequences, Sequence, SequenceSet, ThresholdSchedule, ThresholdPass};
+pub use seq::{build_sequences, Sequence, SequenceSet, ThresholdPass, ThresholdSchedule};
 pub use summary::{layout_regions, render_regions, RegionSummary};
 
 /// Base virtual address used for application images, far from the kernel

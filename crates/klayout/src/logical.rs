@@ -34,7 +34,12 @@ impl<'p> LogicalCacheAllocator<'p> {
     ///
     /// Panics if `scf_size >= cache_size`.
     #[must_use]
-    pub fn new(program: &'p Program, name: impl Into<String>, cache_size: u32, scf_size: u64) -> Self {
+    pub fn new(
+        program: &'p Program,
+        name: impl Into<String>,
+        cache_size: u32,
+        scf_size: u64,
+    ) -> Self {
         let cache_size = u64::from(cache_size);
         assert!(
             scf_size < cache_size,

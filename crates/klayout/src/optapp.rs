@@ -8,6 +8,7 @@
 //! optimization of Section 4.3.
 
 use oslay_model::{BlockId, Domain, Program};
+use oslay_observe::{PlacementAudit, PlacementRecord};
 use oslay_profile::{LoopAnalysis, Profile};
 
 use crate::{build_sequences, Layout, LayoutBuilder, ThresholdSchedule, APP_BASE};
@@ -32,12 +33,31 @@ pub fn optimize_app(
     loops: &LoopAnalysis,
     cache_size: u32,
 ) -> Layout {
+    optimize_app_audited(program, profile, loops, cache_size).0
+}
+
+/// Like [`optimize_app`], but also returns the placement audit:
+/// sequence blocks get `main_seq`/`other_seq` areas (all grown from the
+/// `main` seed) with their capturing rung's thresholds, extracted loop
+/// bodies `loop_area`, and never-executed code `source_order`.
+///
+/// # Panics
+///
+/// Panics if `program` is not an application program.
+#[must_use]
+pub fn optimize_app_audited(
+    program: &Program,
+    profile: &Profile,
+    loops: &LoopAnalysis,
+    cache_size: u32,
+) -> (Layout, PlacementAudit) {
     assert_eq!(
         program.domain(),
         Domain::App,
         "optimize_app requires an application program"
     );
-    let sequences = build_sequences(program, profile, &ThresholdSchedule::paper());
+    let schedule = ThresholdSchedule::paper();
+    let sequences = build_sequences(program, profile, &schedule);
 
     // Loop extraction (Section 4.3), as in OptL: loops with ≥ 6 measured
     // iterations per invocation move to a loop area after the sequences.
@@ -82,7 +102,45 @@ pub fn optimize_app(
             lb.place(b);
         }
     }
-    lb.finish().expect("application layout places every block")
+    let layout = lb.finish().expect("application layout places every block");
+
+    let mut audit = PlacementAudit::new("OptA-app");
+    let mut order: Vec<BlockId> = (0..program.num_blocks()).map(BlockId::new).collect();
+    order.sort_by_key(|&b| layout.addr(b));
+    let mut seq_of: Vec<Option<usize>> = vec![None; program.num_blocks()];
+    for (seq_idx, b) in sequences.blocks_in_order() {
+        seq_of[b.index()] = Some(seq_idx);
+    }
+    for b in order {
+        let area = if in_loop_area[b.index()] && sequences.contains(b) {
+            "loop_area"
+        } else if let Some(seq_idx) = seq_of[b.index()] {
+            let seq = &sequences.sequences()[seq_idx];
+            if seq.exec_thresh >= ThresholdSchedule::MAIN_SEQ_EXEC_THRESH {
+                "main_seq"
+            } else {
+                "other_seq"
+            }
+        } else {
+            "source_order"
+        };
+        let mut rec = PlacementRecord::area_only(b.index(), layout.addr(b), area);
+        if let Some(seq_idx) = seq_of[b.index()] {
+            let seq = &sequences.sequences()[seq_idx];
+            // Application sequences all grow from `main`, not a kernel
+            // seed kind.
+            rec.seed = Some("main".to_owned());
+            rec.pass = Some(seq.pass);
+            rec.sequence = Some(seq_idx);
+            rec.exec_thresh = Some(seq.exec_thresh);
+            rec.branch_thresh = schedule
+                .passes
+                .get(seq.pass)
+                .and_then(|p| p.branch[seq.seed.index()]);
+        }
+        audit.record(rec);
+    }
+    (layout, audit)
 }
 
 #[cfg(test)]
@@ -153,6 +211,30 @@ mod tests {
                 .unwrap();
             assert!(l.addr(head) > seq_min);
         }
+    }
+
+    #[test]
+    fn audit_records_app_provenance() {
+        let (app, profile, loops) = setup();
+        let (layout, audit) = optimize_app_audited(&app, &profile, &loops, 8192);
+        assert_eq!(audit.len(), app.num_blocks());
+        assert_eq!(audit.pass_name(), "OptA-app");
+        for (id, _) in app.blocks() {
+            let rec = audit.lookup(id.index()).expect("record per block");
+            assert_eq!(rec.addr, layout.addr(id));
+        }
+        // The scientific loop body must be audited as loop-area code with
+        // main-seeded provenance.
+        assert!(audit.area_count("loop_area") > 0, "loops extracted");
+        let loop_rec = audit
+            .records()
+            .iter()
+            .find(|r| r.area == "loop_area")
+            .unwrap();
+        assert_eq!(loop_rec.seed.as_deref(), Some("main"));
+        assert!(loop_rec.exec_thresh.is_some());
+        // Cold app code is appended in source order.
+        assert!(audit.area_count("source_order") > 0);
     }
 
     #[test]

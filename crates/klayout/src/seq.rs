@@ -179,9 +179,7 @@ pub fn build_sequences(
         oslay_model::Domain::App => {
             // Applications have a single seed: main's entry. Attribute it
             // to the Other class slot; the remaining slots stay empty.
-            let entry = program
-                .entry()
-                .map(|r| program.routine(r).entry());
+            let entry = program.entry().map(|r| program.routine(r).entry());
             [entry, None, None, None]
         }
     };
@@ -355,10 +353,7 @@ mod tests {
             if blocks.is_empty() {
                 return None;
             }
-            Some(
-                blocks.iter().map(|&b| profile.exec_ratio(b)).sum::<f64>()
-                    / blocks.len() as f64,
-            )
+            Some(blocks.iter().map(|&b| profile.exec_ratio(b)).sum::<f64>() / blocks.len() as f64)
         };
         let first = (0..schedule_len())
             .find_map(mean_ratio)

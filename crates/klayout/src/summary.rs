@@ -68,7 +68,11 @@ pub fn layout_regions(program: &Program, opt: &OptLayout) -> Vec<RegionSummary> 
 pub fn render_regions(regions: &[RegionSummary]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>10}  {:>10}  {:>8}  {:>6}  class", "start", "end", "bytes", "blocks");
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>10}  {:>8}  {:>6}  class",
+        "start", "end", "bytes", "blocks"
+    );
     for r in regions {
         let _ = writeln!(
             out,

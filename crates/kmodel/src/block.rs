@@ -4,7 +4,6 @@ use crate::{BlockId, DispatchId, RoutineId};
 
 /// One outgoing edge of a probabilistic branch.
 #[derive(Copy, Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BranchTarget {
     /// Destination block (must belong to the same routine).
     pub dst: BlockId,
@@ -27,7 +26,6 @@ impl BranchTarget {
 
 /// How control leaves a basic block.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Terminator {
     /// Unconditional transfer to another block of the same routine.
     Jump(BlockId),
@@ -122,7 +120,6 @@ impl Iterator for SuccessorIter<'_> {
 /// average block in the paper's kernel is 21.3 bytes (Section 3.2.1), and
 /// the synthetic generator reproduces that scale.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BasicBlock {
     routine: RoutineId,
     size: u32,

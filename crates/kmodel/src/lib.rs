@@ -59,6 +59,7 @@ mod builder;
 mod error;
 mod ids;
 mod program;
+pub mod rng;
 mod routine;
 mod seed;
 mod stats;

@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{
-    BasicBlock, BlockId, Domain, ModelError, Routine, RoutineId, SeedKind, Terminator,
-};
+use crate::{BasicBlock, BlockId, Domain, ModelError, Routine, RoutineId, SeedKind, Terminator};
 
 /// A complete program: routines, basic blocks, control-flow structure, and
 /// (for operating-system programs) the four seed entry points.
@@ -13,7 +11,6 @@ use crate::{
 /// downstream stages — tracing, profiling, layout, simulation — share it by
 /// reference.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Program {
     domain: Domain,
     blocks: Vec<BasicBlock>,
@@ -141,7 +138,9 @@ impl Program {
     /// routine in their source order. The `Base` layout places code exactly
     /// in this order, mirroring the unoptimized kernel image.
     pub fn source_order(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.routines.iter().flat_map(|r| r.blocks().iter().copied())
+        self.routines
+            .iter()
+            .flat_map(|r| r.blocks().iter().copied())
     }
 
     /// Average basic-block size in bytes (paper: 21.3 bytes).
@@ -200,7 +199,10 @@ impl Program {
                 for t in targets {
                     check_target(t.dst)?;
                     if t.prob <= 0.0 {
-                        return Err(ModelError::BadProbabilities { src: id, sum: t.prob });
+                        return Err(ModelError::BadProbabilities {
+                            src: id,
+                            sum: t.prob,
+                        });
                     }
                     sum += t.prob;
                 }

@@ -7,7 +7,6 @@ use crate::{BlockId, RoutineId};
 /// Blocks are listed in *source order* — the order the original code placed
 /// them in memory — which is what the `Base` layout reproduces.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Routine {
     id: RoutineId,
     name: String,

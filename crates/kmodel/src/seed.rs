@@ -9,7 +9,6 @@ use std::fmt;
 /// them (Section 3.2.1). Table 1 breaks down each workload's invocations
 /// into these same four classes.
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SeedKind {
     /// Interrupt servicing: cross-processor, clock, I/O, or multiprocessor
     /// synchronization interrupts.
@@ -78,7 +77,6 @@ impl fmt::Display for SeedKind {
 /// the two cross-interference directions; the domain of each fetch is the
 /// input to that classification.
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Domain {
     /// Operating-system code.
     Os,

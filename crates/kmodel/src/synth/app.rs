@@ -16,9 +16,7 @@
 //! engine suspends and resumes it around OS invocations, the way a real CPU
 //! interleaves user and kernel execution.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use crate::{BranchTarget, Domain, Program, ProgramBuilder, RoutineId, Terminator};
 
 use super::params::BlockSizeDist;
@@ -90,7 +88,7 @@ pub fn generate_app_mix(components: &[(AppKind, f64)], params: &AppParams) -> Pr
 
     let mut g = AppGen {
         b: ProgramBuilder::new(Domain::App),
-        rng: StdRng::seed_from_u64(params.seed),
+        rng: Rng::seed_from_u64(params.seed),
         sizes: params.sizes.clone(),
         params: params.clone(),
     };
@@ -133,7 +131,7 @@ pub fn generate_app_mix(components: &[(AppKind, f64)], params: &AppParams) -> Pr
 
 struct AppGen {
     b: ProgramBuilder,
-    rng: StdRng,
+    rng: Rng,
     sizes: BlockSizeDist,
     params: AppParams,
 }
@@ -198,8 +196,8 @@ impl AppGen {
     /// routines, as real images do).
     fn cold_one(&mut self, prefix: &str, i: usize) {
         let hot = self.rng.gen_range(4..=16);
-        let spec = ChainSpec::new(format!("{prefix}_cold{i}"), hot)
-            .cold_tail(self.rng.gen_range(0..=3));
+        let spec =
+            ChainSpec::new(format!("{prefix}_cold{i}"), hot).cold_tail(self.rng.gen_range(0..=3));
         let _ = self.chain(spec);
     }
 

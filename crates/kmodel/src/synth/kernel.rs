@@ -8,9 +8,7 @@
 //! and a large bulk of never-invoked special-case routines interleaved with
 //! the hot code in source order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use crate::{
     BlockId, DispatchId, Domain, Program, ProgramBuilder, RoutineId, SeedKind, Terminator,
 };
@@ -84,10 +82,42 @@ pub fn generate_kernel(params: &KernelParams) -> SyntheticKernel {
 }
 
 const SYSCALL_NAMES: [&str; 36] = [
-    "read", "write", "open", "close", "stat", "fstat", "lseek", "dup", "pipe", "ioctl", "fcntl",
-    "access", "unlink", "link", "mkdir", "rmdir", "chdir", "chmod", "chown", "mount", "fork",
-    "vfork", "execve", "exit", "wait", "kill", "getpid", "getuid", "brk", "sbrk", "mmap",
-    "munmap", "gettimeofday", "select", "sigvec", "sync",
+    "read",
+    "write",
+    "open",
+    "close",
+    "stat",
+    "fstat",
+    "lseek",
+    "dup",
+    "pipe",
+    "ioctl",
+    "fcntl",
+    "access",
+    "unlink",
+    "link",
+    "mkdir",
+    "rmdir",
+    "chdir",
+    "chmod",
+    "chown",
+    "mount",
+    "fork",
+    "vfork",
+    "execve",
+    "exit",
+    "wait",
+    "kill",
+    "getpid",
+    "getuid",
+    "brk",
+    "sbrk",
+    "mmap",
+    "munmap",
+    "gettimeofday",
+    "select",
+    "sigvec",
+    "sync",
 ];
 
 const COLD_SUBSYSTEMS: [&str; 12] = [
@@ -117,7 +147,7 @@ struct Utilities {
 
 struct Generator<'p> {
     b: ProgramBuilder,
-    rng: StdRng,
+    rng: Rng,
     p: &'p KernelParams,
     sizes: BlockSizeDist,
     /// Never-invoked cold routines remaining to emit.
@@ -142,7 +172,7 @@ impl<'p> Generator<'p> {
             + (p.num_io_routines + p.num_vm_routines + p.num_fs_routines + p.num_proc_routines);
         Self {
             b: ProgramBuilder::new(Domain::Os),
-            rng: StdRng::seed_from_u64(p.seed),
+            rng: Rng::seed_from_u64(p.seed),
             p,
             sizes: p.sizes.clone(),
             cold_remaining: p.num_cold_routines,
@@ -202,13 +232,8 @@ impl<'p> Generator<'p> {
         );
 
         let other_handlers = self.build_other_handlers(&utils, &proc);
-        let other_entry = self.dispatch_service(
-            "swtch_entry",
-            &[],
-            &other_handlers,
-            &[],
-            other_table,
-        );
+        let other_entry =
+            self.dispatch_service("swtch_entry", &[], &other_handlers, &[], other_table);
 
         self.drain_cold();
 
@@ -236,9 +261,7 @@ impl<'p> Generator<'p> {
     // ----- utilities ------------------------------------------------------
 
     fn build_utilities(&mut self) -> Utilities {
-        let lock_acquire = self.spec_chain(
-            ChainSpec::new("lock_acquire", 3).looped(1, 1, 1.2),
-        );
+        let lock_acquire = self.spec_chain(ChainSpec::new("lock_acquire", 3).looped(1, 1, 1.2));
         let lock_release = self.spec_chain(ChainSpec::new("lock_release", 2));
         let read_hrc = self.spec_chain(ChainSpec::new("read_hrc", 2));
         let soft_mul = self.spec_chain(ChainSpec::new("soft_mul", 4).looped(1, 2, 8.0));
@@ -298,7 +321,14 @@ impl<'p> Generator<'p> {
     fn build_io_subsystem(&mut self, u: &Utilities) -> Vec<RoutineId> {
         self.build_rare_helpers("io", self.p.num_io_routines, &[]);
         let mut pool = vec![u.lock_acquire, u.lock_release, u.bcopy, u.hashfn];
-        let named = ["bufhash", "getblk", "brelse", "iodone", "disk_strategy", "disk_io"];
+        let named = [
+            "bufhash",
+            "getblk",
+            "brelse",
+            "iodone",
+            "disk_strategy",
+            "disk_io",
+        ];
         let mut out = Vec::new();
         for i in 0..self.p.num_io_routines {
             let name = named
@@ -348,7 +378,13 @@ impl<'p> Generator<'p> {
         vm: &[RoutineId],
     ) -> Vec<RoutineId> {
         self.build_rare_helpers("fs", self.p.num_fs_routines, io);
-        let mut pool = vec![u.lock_acquire, u.lock_release, u.hashfn, u.strcmp_k, u.bcopy];
+        let mut pool = vec![
+            u.lock_acquire,
+            u.lock_release,
+            u.hashfn,
+            u.strcmp_k,
+            u.bcopy,
+        ];
         pool.extend(io.iter().take(4).copied());
         if let Some(&p0) = vm.get(1) {
             pool.push(p0);
@@ -478,9 +514,7 @@ impl<'p> Generator<'p> {
                 .get(i)
                 .map_or_else(|| format!("syscall{i}"), |s| format!("sys_{s}"));
             let r = match SYSCALL_NAMES.get(i).copied() {
-                Some("getpid" | "getuid") => {
-                    self.spec_chain(ChainSpec::new(name, 2))
-                }
+                Some("getpid" | "getuid") => self.spec_chain(ChainSpec::new(name, 2)),
                 Some("gettimeofday") => self.auto_chain(AutoChain {
                     name,
                     hot: 4,
@@ -652,7 +686,13 @@ impl<'p> Generator<'p> {
         let timer = self.auto_chain(AutoChain {
             name: "timer_intr".into(),
             hot: 10,
-            calls: vec![push_hrtime, u.soft_mul, u.soft_div, u.check_curtimer, u.update_hrtimer],
+            calls: vec![
+                push_hrtime,
+                u.soft_mul,
+                u.soft_div,
+                u.check_curtimer,
+                u.update_hrtimer,
+            ],
             loops: vec![],
             cold_tail: 3,
             fat: false,
@@ -661,7 +701,12 @@ impl<'p> Generator<'p> {
         let xproc = self.auto_chain(AutoChain {
             name: "xproc_intr".into(),
             hot: 9,
-            calls: vec![u.lock_acquire, u.tlb_invalidate, u.sched_wakeup, u.lock_release],
+            calls: vec![
+                u.lock_acquire,
+                u.tlb_invalidate,
+                u.sched_wakeup,
+                u.lock_release,
+            ],
             loops: vec![],
             cold_tail: 3,
             fat: false,
@@ -977,10 +1022,7 @@ impl<'p> Generator<'p> {
             .map(|_| self.b.add_block(self.sizes.sample(&mut self.rng)))
             .collect();
         let dispatch = self.b.add_block(self.sizes.sample(&mut self.rng));
-        let stubs: Vec<BlockId> = handlers
-            .iter()
-            .map(|_| self.b.add_block(8))
-            .collect();
+        let stubs: Vec<BlockId> = handlers.iter().map(|_| self.b.add_block(8)).collect();
         let join = self.b.add_block(self.sizes.sample(&mut self.rng));
         let post_blocks: Vec<BlockId> = post
             .iter()

@@ -1,6 +1,6 @@
 //! Calibration parameters for the synthetic generators.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Overall size class of a generated kernel.
 ///
@@ -161,7 +161,7 @@ impl BlockSizeDist {
     }
 
     /// Samples one block size.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
         let x = rng.gen_range(0..self.total);
         let idx = self.cumulative.partition_point(|&c| c <= x);
         self.sizes[idx]
@@ -183,8 +183,6 @@ impl BlockSizeDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn paper_distribution_mean_is_close_to_21_3() {
@@ -195,7 +193,7 @@ mod tests {
     #[test]
     fn sample_is_always_a_listed_size() {
         let dist = BlockSizeDist::paper();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..1000 {
             let s = dist.sample(&mut rng);
             assert!(dist.sizes.contains(&s));
@@ -205,7 +203,7 @@ mod tests {
     #[test]
     fn empirical_mean_tracks_exact_mean() {
         let dist = BlockSizeDist::paper();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 200_000;
         let sum: u64 = (0..n).map(|_| u64::from(dist.sample(&mut rng))).sum();
         let emp = sum as f64 / n as f64;

@@ -16,9 +16,7 @@
 //! locality of the unoptimized kernel ("rarely-executed special-case code
 //! disrupts spatial locality").
 
-use rand::rngs::StdRng;
-
-
+use crate::rng::Rng;
 use crate::{BlockId, BranchTarget, ProgramBuilder, RoutineId, Terminator};
 
 use super::params::BlockSizeDist;
@@ -132,8 +130,16 @@ impl ChainSpec {
         assert!(self.hot >= 1, "{}: empty main path", self.name);
         let mut used = vec![false; self.hot];
         let mut claim = |pos: usize, what: &str| {
-            assert!(pos < self.hot, "{}: {what} position {pos} out of range", self.name);
-            assert!(!used[pos], "{}: conflicting roles at position {pos}", self.name);
+            assert!(
+                pos < self.hot,
+                "{}: {what} position {pos} out of range",
+                self.name
+            );
+            assert!(
+                !used[pos],
+                "{}: conflicting roles at position {pos}",
+                self.name
+            );
             used[pos] = true;
         };
         for c in &self.calls {
@@ -159,13 +165,13 @@ impl ChainSpec {
 /// Materializes a [`ChainSpec`] into the builder. Returns the new routine.
 pub(crate) fn build_chain_routine(
     b: &mut ProgramBuilder,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     sizes: &BlockSizeDist,
     spec: &ChainSpec,
 ) -> RoutineId {
     spec.validate();
     let routine = b.begin_routine(spec.name.clone());
-    let sample = |rng: &mut StdRng| sizes.sample(rng) * spec.size_mul;
+    let sample = |rng: &mut Rng| sizes.sample(rng) * spec.size_mul;
 
     // Create blocks in source order: hot[i] followed by its detour block.
     let mut hot = Vec::with_capacity(spec.hot + 1);
@@ -259,11 +265,10 @@ pub(crate) fn build_chain_routine(
 mod tests {
     use super::*;
     use crate::{Domain, SeedKind};
-    use rand::SeedableRng;
 
     fn build(spec: ChainSpec) -> crate::Program {
         let mut b = ProgramBuilder::new(Domain::Os);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let sizes = BlockSizeDist::paper();
         let r = build_chain_routine(&mut b, &mut rng, &sizes, &spec);
         for kind in SeedKind::ALL {
@@ -309,16 +314,12 @@ mod tests {
 
     #[test]
     fn cold_tail_blocks_return() {
-        let p = build(
-            ChainSpec::new("f", 2)
-                .cold_tail(3)
-                .detour(Detour {
-                    pos: 0,
-                    enter_prob: 0.005,
-                    body: DetourBody::Plain,
-                    to_tail: true,
-                }),
-        );
+        let p = build(ChainSpec::new("f", 2).cold_tail(3).detour(Detour {
+            pos: 0,
+            enter_prob: 0.005,
+            body: DetourBody::Plain,
+            to_tail: true,
+        }));
         // 2 hot + 1 detour + 1 ret + 3 tail.
         assert_eq!(p.num_blocks(), 7);
     }
@@ -326,21 +327,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "conflicting roles")]
     fn conflicting_roles_panic() {
-        let spec = ChainSpec::new("f", 3)
-            .looped(0, 1, 4.0)
-            .detour(Detour {
-                pos: 1,
-                enter_prob: 0.1,
-                body: DetourBody::Plain,
-                to_tail: false,
-            });
+        let spec = ChainSpec::new("f", 3).looped(0, 1, 4.0).detour(Detour {
+            pos: 1,
+            enter_prob: 0.1,
+            body: DetourBody::Plain,
+            to_tail: false,
+        });
         let _ = build(spec);
     }
 
     #[test]
     fn call_site_targets_next_hot_block() {
         let mut b = ProgramBuilder::new(Domain::Os);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let sizes = BlockSizeDist::paper();
         let callee = build_chain_routine(&mut b, &mut rng, &sizes, &ChainSpec::new("g", 2));
         let spec = ChainSpec::new("f", 3).call(1, callee);

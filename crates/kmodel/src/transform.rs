@@ -60,8 +60,7 @@ pub fn inline_calls(program: &Program, sites: &[BlockId]) -> Result<(Program, us
     for routine in program.routines() {
         b.begin_routine(routine.name());
         for (i, &old) in routine.blocks().iter().enumerate() {
-            let linked = i > 0
-                && program.block(routine.blocks()[i - 1]).fallthrough() == Some(old);
+            let linked = i > 0 && program.block(routine.blocks()[i - 1]).fallthrough() == Some(old);
             let new = if linked {
                 b.add_block(program.block(old).size())
             } else {
@@ -192,7 +191,11 @@ mod tests {
             "clones are appended"
         );
         assert_eq!(inlined.num_routines(), k.program.num_routines());
-        let old = k.program.routine_by_name("timer_intr").unwrap().num_blocks();
+        let old = k
+            .program
+            .routine_by_name("timer_intr")
+            .unwrap()
+            .num_blocks();
         let new = inlined.routine_by_name("timer_intr").unwrap().num_blocks();
         assert_eq!(new, old + added);
     }

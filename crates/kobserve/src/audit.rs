@@ -1,0 +1,246 @@
+//! Layout audit trail: per-block placement provenance.
+//!
+//! The paper justifies its layouts with measurement (miss maps, reference
+//! skew); the audit trail closes the loop in the other direction — for
+//! every placed block it records *why* the layout pass put it where it
+//! did: the placement area (SelfConfFree, main sequence, loop area, cold
+//! window, ...), the seed and threshold rung that adopted it, and the
+//! sequence it joined. Figure 10/13-style cache maps can then be
+//! cross-checked against placement reasons.
+//!
+//! The types here are deliberately generic — blocks are plain `usize`
+//! indices and seeds/areas are strings — so the crate stays free of
+//! workspace dependencies; `oslay-layout` constructs the records.
+
+use crate::json::JsonValue;
+
+/// Provenance of one placed block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementRecord {
+    /// Block index within the program.
+    pub block: usize,
+    /// Assigned address.
+    pub addr: u64,
+    /// Placement area, e.g. `self_conf_free`, `main_seq`, `other_seq`,
+    /// `loop_area`, `cold_window`, `cold_tail`, `source_order`.
+    pub area: String,
+    /// Seed whose sequence adopted the block (`SysCall`, ...), if any.
+    pub seed: Option<String>,
+    /// Index of the threshold-schedule pass (rung) that captured it.
+    pub pass: Option<usize>,
+    /// Index of the sequence within the pass's sequence set.
+    pub sequence: Option<usize>,
+    /// `ExecThresh` of the capturing rung.
+    pub exec_thresh: Option<f64>,
+    /// `BranchThresh` of the capturing rung for this seed.
+    pub branch_thresh: Option<f64>,
+}
+
+impl PlacementRecord {
+    /// A record carrying only block, address, and area.
+    #[must_use]
+    pub fn area_only(block: usize, addr: u64, area: &str) -> Self {
+        Self {
+            block,
+            addr,
+            area: area.to_owned(),
+            seed: None,
+            pass: None,
+            sequence: None,
+            exec_thresh: None,
+            branch_thresh: None,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut members = vec![
+            ("block".to_owned(), JsonValue::Num(self.block as f64)),
+            ("addr".to_owned(), JsonValue::Num(self.addr as f64)),
+            ("area".to_owned(), JsonValue::Str(self.area.clone())),
+        ];
+        if let Some(seed) = &self.seed {
+            members.push(("seed".to_owned(), JsonValue::Str(seed.clone())));
+        }
+        if let Some(pass) = self.pass {
+            members.push(("pass".to_owned(), JsonValue::Num(pass as f64)));
+        }
+        if let Some(sequence) = self.sequence {
+            members.push(("sequence".to_owned(), JsonValue::Num(sequence as f64)));
+        }
+        if let Some(et) = self.exec_thresh {
+            members.push(("exec_thresh".to_owned(), JsonValue::Num(et)));
+        }
+        if let Some(bt) = self.branch_thresh {
+            members.push(("branch_thresh".to_owned(), JsonValue::Num(bt)));
+        }
+        JsonValue::Object(members)
+    }
+}
+
+/// The audit trail of one layout pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlacementAudit {
+    pass_name: String,
+    records: Vec<PlacementRecord>,
+}
+
+impl PlacementAudit {
+    /// Creates an empty audit for the named layout pass (`OptS`, `C-H`,
+    /// ...).
+    #[must_use]
+    pub fn new(pass_name: &str) -> Self {
+        Self {
+            pass_name: pass_name.to_owned(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Name of the layout pass this audit belongs to.
+    #[must_use]
+    pub fn pass_name(&self) -> &str {
+        &self.pass_name
+    }
+
+    /// Appends one placement record.
+    pub fn record(&mut self, record: PlacementRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in placement order.
+    #[must_use]
+    pub fn records(&self) -> &[PlacementRecord] {
+        &self.records
+    }
+
+    /// Number of recorded placements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up the provenance of a block.
+    #[must_use]
+    pub fn lookup(&self, block: usize) -> Option<&PlacementRecord> {
+        self.records.iter().find(|r| r.block == block)
+    }
+
+    /// Number of blocks placed in the given area.
+    #[must_use]
+    pub fn area_count(&self, area: &str) -> usize {
+        self.records.iter().filter(|r| r.area == area).count()
+    }
+
+    /// Distinct areas in first-seen order with their block counts.
+    #[must_use]
+    pub fn area_summary(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for r in &self.records {
+            if let Some(entry) = out.iter_mut().find(|(a, _)| *a == r.area) {
+                entry.1 += 1;
+            } else {
+                out.push((r.area.clone(), 1));
+            }
+        }
+        out
+    }
+
+    /// Dumps the audit as JSON: pass name, per-area counts, and the full
+    /// record list.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("pass".to_owned(), JsonValue::Str(self.pass_name.clone())),
+            (
+                "areas".to_owned(),
+                JsonValue::Object(
+                    self.area_summary()
+                        .into_iter()
+                        .map(|(a, n)| (a, JsonValue::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "placements".to_owned(),
+                JsonValue::Array(self.records.iter().map(PlacementRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlacementAudit {
+        let mut a = PlacementAudit::new("OptS");
+        a.record(PlacementRecord::area_only(4, 0x0, "self_conf_free"));
+        a.record(PlacementRecord {
+            block: 9,
+            addr: 0x500,
+            area: "main_seq".into(),
+            seed: Some("SysCall".into()),
+            pass: Some(0),
+            sequence: Some(2),
+            exec_thresh: Some(0.9),
+            branch_thresh: Some(0.4),
+        });
+        a.record(PlacementRecord::area_only(12, 0x900, "cold_tail"));
+        a.record(PlacementRecord::area_only(13, 0x940, "cold_tail"));
+        a
+    }
+
+    #[test]
+    fn lookup_returns_provenance() {
+        let a = sample();
+        let r = a.lookup(9).expect("block 9 recorded");
+        assert_eq!(r.seed.as_deref(), Some("SysCall"));
+        assert_eq!(r.pass, Some(0));
+        assert_eq!(r.exec_thresh, Some(0.9));
+        assert!(a.lookup(999).is_none());
+    }
+
+    #[test]
+    fn area_counts_and_summary() {
+        let a = sample();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.area_count("cold_tail"), 2);
+        assert_eq!(a.area_count("main_seq"), 1);
+        assert_eq!(
+            a.area_summary(),
+            vec![
+                ("self_conf_free".to_owned(), 1),
+                ("main_seq".to_owned(), 1),
+                ("cold_tail".to_owned(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_dump_round_trips_structurally() {
+        let a = sample();
+        let parsed = crate::json::parse(&a.to_json().to_json()).unwrap();
+        assert_eq!(parsed.get("pass").and_then(JsonValue::as_str), Some("OptS"));
+        let placements = parsed
+            .get("placements")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(placements.len(), 4);
+        assert_eq!(
+            placements[1].get("seed").and_then(JsonValue::as_str),
+            Some("SysCall")
+        );
+        assert_eq!(
+            parsed
+                .get("areas")
+                .and_then(|v| v.get("cold_tail"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Zero-dependency observability for the `oslay` reproduction.
+//!
+//! The paper's methodology is measurement-first: a hardware performance
+//! monitor drives every layout decision. This crate gives the software
+//! reproduction the same discipline, with four pieces:
+//!
+//! * **Phase spans** ([`span`], [`Recorder`]) — scoped wall-clock timers
+//!   so a `Study` run can report how long it spent in synthesis, trace
+//!   generation, profiling, each layout pass, and simulation.
+//! * **Metric registry** ([`MetricRegistry`], [`Probe`]) — named counters,
+//!   gauges, and log2-bucketed histograms. Hot paths (the cache simulator,
+//!   the trace engine) accept an optional [`Probe`] so instrumentation is
+//!   strictly zero-cost when disabled.
+//! * **Layout audit trail** ([`PlacementAudit`]) — per-block placement
+//!   provenance recorded by the layout passes: which area a block landed
+//!   in, which seed and `(ExecThresh, BranchThresh)` rung adopted it,
+//!   which sequence it joined.
+//! * **JSON run reports** ([`RunReport`], [`json`]) — hand-rolled JSON
+//!   (serializer *and* parser, no serde) for machine-readable results
+//!   written beside the human-readable `.txt` figures, plus
+//!   [`compare`] for regression checking between runs.
+//!
+//! Metric names are namespaced by pipeline stage: `trace.*`, `cache.*`,
+//! `layout.*`, `study.*` (see `DESIGN.md` at the repository root).
+//!
+//! This crate depends on nothing outside `std`, so every other workspace
+//! crate can depend on it without cycles.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod audit;
+pub mod json;
+mod metrics;
+mod report;
+mod span;
+
+pub use audit::{PlacementAudit, PlacementRecord};
+pub use json::{JsonError, JsonValue};
+pub use metrics::{Histogram, HistogramSummary, MetricRegistry, NoopProbe, Probe};
+pub use report::{compare, Regression, ReportError, RunReport, SpanEntry};
+pub use span::{global_recorder, span, Recorder, SpanGuard};

@@ -1,0 +1,326 @@
+//! Named counters, gauges, and log2-bucketed histograms, plus the
+//! [`Probe`] trait hot paths use to report them.
+//!
+//! The cache simulator and the trace engine accept an optional
+//! `&dyn Probe`; passing `None` keeps instrumentation strictly off the
+//! hot path. [`MetricRegistry`] is the collecting implementation;
+//! [`NoopProbe`] exists for tests and for measuring probe overhead.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` counts the value `0`; bucket `i >= 1` counts values whose
+/// bit length is `i`, i.e. the half-open range `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, else `1 + floor(log2 v)`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    #[must_use]
+    pub fn bucket_low(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(bucket_low, count)` pairs, low to high.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_low(i), c))
+            .collect()
+    }
+
+    /// Condenses the histogram into the summary used by run reports.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self.nonzero_buckets(),
+        }
+    }
+}
+
+/// The report-friendly condensed form of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Occupied `(bucket_low, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Sink for metrics emitted by instrumented code.
+///
+/// Every method has a no-op default, so implementations override only
+/// what they collect and probe-accepting code can call unconditionally.
+pub trait Probe {
+    /// Adds `delta` to the named counter.
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    /// Sets the named gauge to `value`.
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    /// Records one sample into the named histogram.
+    fn histogram_record(&self, _name: &str, _value: u64) {}
+}
+
+/// A probe that drops everything — for overhead measurements and as an
+/// explicit "observability off" value.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe metric store; the collecting [`Probe`] implementation.
+///
+/// Names are sorted on readout, so reports are deterministic.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter (0 if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// All counters, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// All gauges, sorted by name.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// All histogram summaries, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        self.lock()
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect()
+    }
+
+    /// Total number of distinct metric names of any kind.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len()
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().expect("metric registry poisoned")
+    }
+}
+
+impl Probe for MetricRegistry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_owned(), value);
+    }
+
+    fn histogram_record(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Bucket 0 holds only 0; bucket i holds [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            let lo = Histogram::bucket_low(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(
+                Histogram::bucket_index(lo * 2 - 1),
+                i,
+                "high edge of bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 16);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 3.2).abs() < 1e-12);
+        // 0 -> bucket 0; 1,1 -> bucket 1; 5 -> bucket 3 (low 4); 9 -> bucket 4 (low 8).
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (4, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn registry_collects_all_three_kinds() {
+        let reg = MetricRegistry::new();
+        reg.counter_add("cache.miss", 3);
+        reg.counter_add("cache.miss", 2);
+        reg.gauge_set("cache.occupancy", 0.75);
+        reg.histogram_record("trace.burst", 10);
+        assert_eq!(reg.counter("cache.miss"), 5);
+        assert_eq!(reg.gauge("cache.occupancy"), Some(0.75));
+        assert_eq!(reg.histogram("trace.burst").unwrap().count(), 1);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn readouts_are_name_sorted() {
+        let reg = MetricRegistry::new();
+        reg.counter_add("z.last", 1);
+        reg.counter_add("a.first", 1);
+        let names: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn noop_probe_accepts_everything() {
+        let p = NoopProbe;
+        p.counter_add("x", 1);
+        p.gauge_set("y", 2.0);
+        p.histogram_record("z", 3);
+    }
+
+    #[test]
+    fn registry_works_through_dyn_probe() {
+        let reg = MetricRegistry::new();
+        let p: &dyn Probe = &reg;
+        p.counter_add("dyn.count", 7);
+        assert_eq!(reg.counter("dyn.count"), 7);
+    }
+}

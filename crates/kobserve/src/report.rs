@@ -1,0 +1,583 @@
+//! Machine-readable run reports and the regression checker.
+//!
+//! A [`RunReport`] bundles one experiment run: phase spans, the metric
+//! registry's counters/gauges/histograms, and any number of named
+//! *sections* of numeric fields (miss rates per optimization level,
+//! speedups per penalty, ...). It serializes to JSON beside the
+//! human-readable `.txt` outputs, appends to JSONL trajectories, parses
+//! back, and feeds [`compare`] so a later run can be checked against a
+//! stored baseline.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::{self, JsonValue};
+use crate::metrics::{HistogramSummary, MetricRegistry};
+use crate::span::Recorder;
+
+/// One aggregated phase span in a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEntry {
+    /// Span name.
+    pub name: String,
+    /// Total seconds across all scopes with this name.
+    pub secs: f64,
+    /// Number of scopes.
+    pub count: u64,
+}
+
+/// A named group of numeric fields, e.g. one per optimization level.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Section {
+    name: String,
+    fields: Vec<(String, f64)>,
+}
+
+/// A serializable account of one experiment run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    name: String,
+    spans: Vec<SpanEntry>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, HistogramSummary)>,
+    sections: Vec<Section>,
+}
+
+impl RunReport {
+    /// Creates an empty report for the named run.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// The run name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Copies all span totals from a recorder into the report.
+    pub fn add_spans(&mut self, recorder: &Recorder) {
+        for t in recorder.totals() {
+            self.spans.push(SpanEntry {
+                name: t.name,
+                secs: t.total.as_secs_f64(),
+                count: t.count,
+            });
+        }
+    }
+
+    /// Copies every counter, gauge, and histogram from a registry.
+    pub fn add_metrics(&mut self, registry: &MetricRegistry) {
+        self.counters.extend(registry.counters());
+        self.gauges.extend(registry.gauges());
+        self.histograms.extend(registry.histograms());
+    }
+
+    /// Appends a section of `(field, value)` pairs.
+    pub fn add_section<S: Into<String>>(
+        &mut self,
+        name: &str,
+        fields: impl IntoIterator<Item = (S, f64)>,
+    ) {
+        self.sections.push(Section {
+            name: name.to_owned(),
+            fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        });
+    }
+
+    /// The recorded spans.
+    #[must_use]
+    pub fn spans(&self) -> &[SpanEntry] {
+        &self.spans
+    }
+
+    /// The recorded counters.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// The recorded gauges.
+    #[must_use]
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// The recorded histogram summaries.
+    #[must_use]
+    pub fn histograms(&self) -> &[(String, HistogramSummary)] {
+        &self.histograms
+    }
+
+    /// Total number of named metrics (counters + gauges + histograms).
+    #[must_use]
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Section names in insertion order.
+    #[must_use]
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// A field of a named section.
+    #[must_use]
+    pub fn section_field(&self, section: &str, field: &str) -> Option<f64> {
+        self.sections
+            .iter()
+            .find(|s| s.name == section)
+            .and_then(|s| s.fields.iter().find(|(k, _)| k == field))
+            .map(|(_, v)| *v)
+    }
+
+    /// Serializes the report to a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name".to_owned(), JsonValue::Str(self.name.clone())),
+            (
+                "spans".to_owned(),
+                JsonValue::Array(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object([
+                                ("name".to_owned(), JsonValue::Str(s.name.clone())),
+                                ("secs".to_owned(), JsonValue::Num(s.secs)),
+                                ("count".to_owned(), JsonValue::Num(s.count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".to_owned(),
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                JsonValue::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                JsonValue::object([
+                                    ("count".to_owned(), JsonValue::Num(h.count as f64)),
+                                    ("sum".to_owned(), JsonValue::Num(h.sum as f64)),
+                                    ("max".to_owned(), JsonValue::Num(h.max as f64)),
+                                    (
+                                        "buckets".to_owned(),
+                                        JsonValue::Array(
+                                            h.buckets
+                                                .iter()
+                                                .map(|&(lo, c)| {
+                                                    JsonValue::Array(vec![
+                                                        JsonValue::Num(lo as f64),
+                                                        JsonValue::Num(c as f64),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sections".to_owned(),
+                JsonValue::Object(
+                    self.sections
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name.clone(),
+                                JsonValue::Object(
+                                    s.fields
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report back from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError`] if the text is not valid JSON or lacks the
+    /// report structure.
+    pub fn from_json(text: &str) -> Result<Self, ReportError> {
+        let v = json::parse(text)?;
+        let bad = |what: &str| ReportError::Shape(what.to_owned());
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing name"))?
+            .to_owned();
+        let mut report = RunReport::new(&name);
+
+        for s in v
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("missing spans"))?
+        {
+            report.spans.push(SpanEntry {
+                name: s
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("span without name"))?
+                    .to_owned(),
+                secs: s
+                    .get("secs")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| bad("span without secs"))?,
+                count: s
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("span without count"))?,
+            });
+        }
+
+        let object_members = |key: &str| -> Result<Vec<(String, JsonValue)>, ReportError> {
+            match v.get(key) {
+                Some(JsonValue::Object(members)) => Ok(members.clone()),
+                _ => Err(bad(&format!("missing {key}"))),
+            }
+        };
+        for (k, val) in object_members("counters")? {
+            let n = val.as_u64().ok_or_else(|| bad("non-integer counter"))?;
+            report.counters.push((k, n));
+        }
+        for (k, val) in object_members("gauges")? {
+            let n = val.as_f64().ok_or_else(|| bad("non-numeric gauge"))?;
+            report.gauges.push((k, n));
+        }
+        for (k, val) in object_members("histograms")? {
+            let mut summary = HistogramSummary {
+                count: val
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("histogram without count"))?,
+                sum: val
+                    .get("sum")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("histogram without sum"))?,
+                max: val
+                    .get("max")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("histogram without max"))?,
+                buckets: Vec::new(),
+            };
+            for pair in val
+                .get("buckets")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| bad("histogram without buckets"))?
+            {
+                let pair = pair.as_array().ok_or_else(|| bad("bucket not a pair"))?;
+                if pair.len() != 2 {
+                    return Err(bad("bucket not a pair"));
+                }
+                let lo = pair[0].as_u64().ok_or_else(|| bad("bucket low"))?;
+                let c = pair[1].as_u64().ok_or_else(|| bad("bucket count"))?;
+                summary.buckets.push((lo, c));
+            }
+            report.histograms.push((k, summary));
+        }
+        for (name, val) in object_members("sections")? {
+            let JsonValue::Object(members) = val else {
+                return Err(bad("section not an object"));
+            };
+            let mut fields = Vec::with_capacity(members.len());
+            for (k, fv) in members {
+                fields.push((k, fv.as_f64().ok_or_else(|| bad("non-numeric field"))?));
+            }
+            report.sections.push(Section { name, fields });
+        }
+        Ok(report)
+    }
+
+    /// Writes the report as pretty-printed JSON, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::Io`] on filesystem failure.
+    pub fn write(&self, path: &Path) -> Result<(), ReportError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_json().to_json_pretty())?;
+        Ok(())
+    }
+
+    /// Appends the report as one compact JSON line to a `.jsonl`
+    /// trajectory file, creating it (and parent directories) as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::Io`] on filesystem failure.
+    pub fn append_jsonl(&self, path: &Path) -> Result<(), ReportError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json().to_json())?;
+        Ok(())
+    }
+}
+
+/// A report could not be written, read, or parsed.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The text was not valid JSON.
+    Json(json::JsonError),
+    /// The JSON was valid but not shaped like a report.
+    Shape(String),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "report I/O error: {e}"),
+            ReportError::Json(e) => write!(f, "report JSON error: {e}"),
+            ReportError::Shape(s) => write!(f, "malformed report: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<std::io::Error> for ReportError {
+    fn from(e: std::io::Error) -> Self {
+        ReportError::Io(e)
+    }
+}
+
+impl From<json::JsonError> for ReportError {
+    fn from(e: json::JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+/// One field that regressed between two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// `section.field` or `gauge.<name>` path of the regressed value.
+    pub path: String,
+    /// Value in the baseline run.
+    pub baseline: f64,
+    /// Value in the current run.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Relative increase of `current` over `baseline`.
+    #[must_use]
+    pub fn relative_increase(&self) -> f64 {
+        if self.baseline == 0.0 {
+            f64::INFINITY
+        } else {
+            self.current / self.baseline - 1.0
+        }
+    }
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} (+{:.2}%)",
+            self.path,
+            self.baseline,
+            self.current,
+            self.relative_increase() * 100.0
+        )
+    }
+}
+
+/// Compares two runs, flagging every shared numeric field whose current
+/// value exceeds the baseline by more than `tolerance` (relative).
+///
+/// Fields are *lower-is-better* (miss rates, times): a regression is
+/// `current > baseline * (1 + tolerance)`. Section fields and gauges are
+/// compared; fields present in only one report are ignored (workloads
+/// may come and go between runs).
+#[must_use]
+pub fn compare(baseline: &RunReport, current: &RunReport, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for section in &baseline.sections {
+        for (field, base) in &section.fields {
+            let Some(cur) = current.section_field(&section.name, field) else {
+                continue;
+            };
+            if cur > base * (1.0 + tolerance) + f64::EPSILON {
+                out.push(Regression {
+                    path: format!("{}.{}", section.name, field),
+                    baseline: *base,
+                    current: cur,
+                });
+            }
+        }
+    }
+    for (name, base) in &baseline.gauges {
+        let Some(&(_, cur)) = current.gauges.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if cur > base * (1.0 + tolerance) + f64::EPSILON {
+            out.push(Regression {
+                path: format!("gauge.{name}"),
+                baseline: *base,
+                current: cur,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Probe;
+
+    fn report_with(miss_rate: f64) -> RunReport {
+        let mut r = RunReport::new("run");
+        r.add_section("fig12.cc1", [("Base", 0.2), ("OptA", miss_rate)]);
+        r
+    }
+
+    #[test]
+    fn compare_flags_regression_above_tolerance() {
+        let baseline = report_with(0.050);
+        let current = report_with(0.060); // +20%
+        let regs = compare(&baseline, &current, 0.05);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "fig12.cc1.OptA");
+        assert!((regs[0].relative_increase() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_accepts_change_below_tolerance() {
+        let baseline = report_with(0.050);
+        let current = report_with(0.051); // +2%
+        assert!(compare(&baseline, &current, 0.05).is_empty());
+        // Improvements never flag.
+        let better = report_with(0.040);
+        assert!(compare(&baseline, &better, 0.0).is_empty());
+    }
+
+    #[test]
+    fn compare_ignores_fields_missing_from_either_side() {
+        let mut baseline = report_with(0.05);
+        baseline.add_section("only.base", [("x", 1.0)]);
+        let current = report_with(0.05);
+        assert!(compare(&baseline, &current, 0.0).is_empty());
+    }
+
+    #[test]
+    fn compare_covers_gauges() {
+        let mut baseline = RunReport::new("b");
+        baseline.gauges.push(("cache.miss_rate".into(), 0.10));
+        let mut current = RunReport::new("c");
+        current.gauges.push(("cache.miss_rate".into(), 0.13));
+        let regs = compare(&baseline, &current, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "gauge.cache.miss_rate");
+    }
+
+    #[test]
+    fn full_report_round_trips_through_json() {
+        let recorder = Recorder::new();
+        recorder.record("study.trace", std::time::Duration::from_millis(120));
+        recorder.record("study.trace", std::time::Duration::from_millis(30));
+        recorder.record("layout.opt_s", std::time::Duration::from_millis(5));
+        let registry = MetricRegistry::new();
+        registry.counter_add("cache.evictions", 42);
+        registry.gauge_set("cache.miss_rate", 0.0525);
+        registry.histogram_record("trace.invocation_blocks", 100);
+        registry.histogram_record("trace.invocation_blocks", 3);
+
+        let mut report = RunReport::new("all_experiments");
+        report.add_spans(&recorder);
+        report.add_metrics(&registry);
+        report.add_section("fig12.shell", [("Base", 0.071), ("OptS", 0.021)]);
+
+        let text = report.to_json().to_json_pretty();
+        let parsed = RunReport::from_json(&text).expect("round trip");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.metric_count(), 3);
+        assert_eq!(parsed.section_field("fig12.shell", "OptS"), Some(0.021));
+        let trace_span = &parsed.spans()[0];
+        assert_eq!(trace_span.name, "study.trace");
+        assert_eq!(trace_span.count, 2);
+        assert!((trace_span.secs - 0.150).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_and_append_jsonl() {
+        let dir = std::env::temp_dir().join(format!(
+            "kobserve_test_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let report = report_with(0.05);
+        let json_path = dir.join("run.json");
+        report.write(&json_path).unwrap();
+        let back = RunReport::from_json(&fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(back, report);
+
+        let jsonl_path = dir.join("trajectory.jsonl");
+        report.append_jsonl(&jsonl_path).unwrap();
+        report.append_jsonl(&jsonl_path).unwrap();
+        let lines = fs::read_to_string(&jsonl_path).unwrap();
+        assert_eq!(lines.lines().count(), 2);
+        for line in lines.lines() {
+            assert_eq!(RunReport::from_json(line).unwrap(), report);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_json_rejects_non_reports() {
+        assert!(RunReport::from_json("[]").is_err());
+        assert!(RunReport::from_json("{\"name\": \"x\"}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Phase spans: scoped wall-clock timers aggregated by name.
+//!
+//! A [`Recorder`] accumulates `(name, total time, count)` triples; a
+//! [`SpanGuard`] measures one scope and reports into its recorder on
+//! drop. Pipeline stages name their spans hierarchically
+//! (`study.trace`, `layout.opt_s`, ...) so a run report shows where the
+//! wall-clock time of an experiment went — the software analogue of the
+//! paper's performance-monitor time accounting.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One aggregated span: every completed scope with the same name folds
+/// into the same entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanTotals {
+    /// Span name (e.g. `study.trace`).
+    pub name: String,
+    /// Total time across all completed scopes with this name.
+    pub total: Duration,
+    /// Number of completed scopes with this name.
+    pub count: u64,
+}
+
+/// Thread-safe collector of phase spans.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    totals: Mutex<Vec<SpanTotals>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a span that reports into this recorder when dropped.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            name: name.to_owned(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Times a closure under the given span name and returns its result.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = self.span(name);
+        f()
+    }
+
+    /// Adds one completed measurement.
+    pub fn record(&self, name: &str, elapsed: Duration) {
+        let mut totals = self.totals.lock().expect("span recorder poisoned");
+        if let Some(entry) = totals.iter_mut().find(|t| t.name == name) {
+            entry.total += elapsed;
+            entry.count += 1;
+        } else {
+            totals.push(SpanTotals {
+                name: name.to_owned(),
+                total: elapsed,
+                count: 1,
+            });
+        }
+    }
+
+    /// Snapshot of all span totals, in first-recorded order.
+    #[must_use]
+    pub fn totals(&self) -> Vec<SpanTotals> {
+        self.totals.lock().expect("span recorder poisoned").clone()
+    }
+
+    /// Removes all recorded spans (for per-run use of the global
+    /// recorder).
+    pub fn reset(&self) {
+        self.totals.lock().expect("span recorder poisoned").clear();
+    }
+}
+
+/// RAII guard measuring one scope; reports to its [`Recorder`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'r> {
+    recorder: &'r Recorder,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.record(&self.name, self.start.elapsed());
+    }
+}
+
+/// The process-wide recorder used by [`span`].
+pub fn global_recorder() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// Starts a span on the global recorder.
+///
+/// ```
+/// {
+///     let _g = oslay_observe::span("study.profile");
+///     // ... timed work ...
+/// }
+/// let totals = oslay_observe::global_recorder().totals();
+/// assert!(totals.iter().any(|t| t.name == "study.profile"));
+/// ```
+#[must_use]
+pub fn span(name: &str) -> SpanGuard<'static> {
+    global_recorder().span(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.span("phase.a");
+        }
+        let totals = rec.totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].name, "phase.a");
+        assert_eq!(totals[0].count, 1);
+    }
+
+    #[test]
+    fn same_name_aggregates() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            rec.time("phase.b", || std::hint::black_box(1 + 1));
+        }
+        let totals = rec.totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].count, 3);
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let rec = Recorder::new();
+        let v = rec.time("phase.c", || 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn distinct_names_stay_separate_in_order() {
+        let rec = Recorder::new();
+        rec.record("first", Duration::from_millis(1));
+        rec.record("second", Duration::from_millis(2));
+        rec.record("first", Duration::from_millis(3));
+        let totals = rec.totals();
+        assert_eq!(totals[0].name, "first");
+        assert_eq!(totals[0].total, Duration::from_millis(4));
+        assert_eq!(totals[1].name, "second");
+        rec.reset();
+        assert!(rec.totals().is_empty());
+    }
+
+    #[test]
+    fn recorder_is_usable_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        rec.record("mt", Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.totals()[0].count, 200);
+    }
+}

@@ -80,7 +80,8 @@ impl Profile {
                                 self.routine_invocations[callee.index()] += 1;
                             }
                         }
-                    } else if invocation_start || (domain == Domain::App && self.total_node_weight == 1)
+                    } else if invocation_start
+                        || (domain == Domain::App && self.total_node_weight == 1)
                     {
                         // Seed entry (OS) or the application's first block:
                         // an invocation of the containing routine.

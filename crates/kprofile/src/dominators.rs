@@ -27,11 +27,8 @@ impl Dominators {
     pub fn compute(program: &Program, routine: RoutineId) -> Self {
         let r = program.routine(routine);
         let blocks: Vec<BlockId> = r.blocks().to_vec();
-        let local: HashMap<BlockId, usize> = blocks
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, i))
-            .collect();
+        let local: HashMap<BlockId, usize> =
+            blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         let n = blocks.len();
         let entry = local[&r.entry()];
 
@@ -136,9 +133,7 @@ impl Dominators {
     /// relationships.
     #[must_use]
     pub fn is_reachable(&self, block: BlockId) -> bool {
-        self.local
-            .get(&block)
-            .is_some_and(|&i| self.reachable[i])
+        self.local.get(&block).is_some_and(|&i| self.reachable[i])
     }
 
     /// Immediate dominator of `block` (the entry dominates itself).

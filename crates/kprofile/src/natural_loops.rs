@@ -87,7 +87,10 @@ impl LoopAnalysis {
         // In-arc weights per block, for entry counting.
         let mut in_arcs: HashMap<BlockId, Vec<(BlockId, u64)>> = HashMap::new();
         for arc in profile.arcs() {
-            in_arcs.entry(arc.dst).or_default().push((arc.src, arc.count));
+            in_arcs
+                .entry(arc.dst)
+                .or_default()
+                .push((arc.src, arc.count));
         }
 
         let mut loops = Vec::new();
@@ -105,9 +108,9 @@ impl LoopAnalysis {
             for (head, tails) in by_head {
                 let body = natural_loop_body(program, head, &tails);
                 let body_set: HashSet<BlockId> = body.iter().copied().collect();
-                let has_calls = body.iter().any(|&b| {
-                    matches!(program.block(b).terminator(), Terminator::Call { .. })
-                });
+                let has_calls = body
+                    .iter()
+                    .any(|&b| matches!(program.block(b).terminator(), Terminator::Call { .. }));
                 let entries = in_arcs
                     .get(&head)
                     .map(|preds| {
@@ -126,9 +129,7 @@ impl LoopAnalysis {
                 let callees: Vec<RoutineId> = body
                     .iter()
                     .filter_map(|&b| match program.block(b).terminator() {
-                        Terminator::Call { callee, .. }
-                            if profile.node_weight(b) > 0 =>
-                        {
+                        Terminator::Call { callee, .. } if profile.node_weight(b) > 0 => {
                             Some(*callee)
                         }
                         _ => None,

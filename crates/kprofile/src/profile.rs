@@ -112,11 +112,9 @@ impl Profile {
 
     /// All measured arcs, in unspecified order.
     pub fn arcs(&self) -> impl Iterator<Item = ArcRecord> + '_ {
-        self.arcs.iter().map(|(&(src, dst), &count)| ArcRecord {
-            src,
-            dst,
-            count,
-        })
+        self.arcs
+            .iter()
+            .map(|(&(src, dst), &count)| ArcRecord { src, dst, count })
     }
 
     /// Blocks with nonzero weight.
@@ -193,7 +191,11 @@ impl Profile {
         {
             *a += b;
         }
-        for (a, b) in self.seed_invocations.iter_mut().zip(&other.seed_invocations) {
+        for (a, b) in self
+            .seed_invocations
+            .iter_mut()
+            .zip(&other.seed_invocations)
+        {
             *a += b;
         }
         self.total_node_weight += other.total_node_weight;

@@ -109,11 +109,7 @@ impl CallGraph {
     /// All edges (caller, callee, weight), heaviest first.
     #[must_use]
     pub fn edges_by_weight(&self) -> Vec<(RoutineId, RoutineId, u64)> {
-        let mut v: Vec<_> = self
-            .edges
-            .iter()
-            .map(|(&(a, b), &w)| (a, b, w))
-            .collect();
+        let mut v: Vec<_> = self.edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
         v.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
         v
     }

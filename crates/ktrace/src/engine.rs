@@ -7,10 +7,11 @@
 //! the kernel. The application walk is suspended — call stack and all —
 //! during each OS invocation and resumed afterwards.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
+use oslay_model::rng::Rng;
 use oslay_model::{BlockId, Domain, Program, SeedKind, Terminator};
+use oslay_observe::Probe;
 
 use crate::{Trace, TraceEvent, WorkloadSpec};
 
@@ -77,15 +78,29 @@ impl Walk {
 /// let trace = engine.run(10_000);
 /// assert!(trace.os_blocks() >= 10_000);
 /// ```
-#[derive(Debug)]
 pub struct Engine<'a> {
     kernel: &'a Program,
     app: Option<&'a Program>,
     spec: &'a WorkloadSpec,
     cfg: EngineConfig,
-    rng: StdRng,
+    rng: Rng,
     app_walk: Option<Walk>,
     truncated_invocations: u64,
+    call_depth_hwm: usize,
+    /// Consulted once per invocation/burst, never per block.
+    probe: Option<Arc<dyn Probe + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("spec", &self.spec.name)
+            .field("cfg", &self.cfg)
+            .field("truncated_invocations", &self.truncated_invocations)
+            .field("call_depth_hwm", &self.call_depth_hwm)
+            .field("probe", &self.probe.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -126,10 +141,28 @@ impl<'a> Engine<'a> {
             app,
             spec,
             cfg,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng::seed_from_u64(cfg.seed),
             app_walk,
             truncated_invocations: 0,
+            call_depth_hwm: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches a probe receiving `trace.invocation_len` and
+    /// `trace.burst_len` histograms plus the `trace.call_depth_hwm`
+    /// gauge. The probe is consulted once per invocation or burst, not
+    /// per block, so tracing cost is unchanged within the walk.
+    #[must_use]
+    pub fn with_probe(mut self, probe: Arc<dyn Probe + Send + Sync>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Deepest call stack reached so far in either domain's walk.
+    #[must_use]
+    pub fn call_depth_high_water(&self) -> usize {
+        self.call_depth_hwm
     }
 
     /// Runs until at least `target_os_blocks` operating-system block events
@@ -139,6 +172,9 @@ impl<'a> Engine<'a> {
         while trace.os_blocks() < target_os_blocks {
             self.app_burst(&mut trace);
             self.os_invocation(&mut trace);
+        }
+        if let Some(probe) = &self.probe {
+            probe.gauge_set("trace.call_depth_hwm", self.call_depth_hwm as f64);
         }
         trace
     }
@@ -173,6 +209,9 @@ impl<'a> Engine<'a> {
             }
             self.advance(self.kernel, &mut walk);
         }
+        if let Some(probe) = &self.probe {
+            probe.histogram_record("trace.invocation_len", steps as u64);
+        }
         trace.push(TraceEvent::OsExit);
     }
 
@@ -188,6 +227,7 @@ impl<'a> Engine<'a> {
         // instructions.
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         let len = (-self.spec.app_burst_mean * u.ln()).ceil() as usize;
+        let mut emitted = 0u64;
         for _ in 0..len.max(1) {
             let Some(block) = walk.current else {
                 // The job loop returned all the way out (does not happen
@@ -201,27 +241,46 @@ impl<'a> Engine<'a> {
                 id: block,
                 domain: Domain::App,
             });
-            Self::advance_walk(app, walk, &mut self.rng, self.spec, &self.cfg);
+            emitted += 1;
+            Self::advance_walk(
+                app,
+                walk,
+                &mut self.rng,
+                self.spec,
+                &self.cfg,
+                &mut self.call_depth_hwm,
+            );
+        }
+        if let Some(probe) = &self.probe {
+            probe.histogram_record("trace.burst_len", emitted);
         }
     }
 
     fn advance(&mut self, program: &Program, walk: &mut Walk) {
-        Self::advance_walk(program, walk, &mut self.rng, self.spec, &self.cfg);
+        Self::advance_walk(
+            program,
+            walk,
+            &mut self.rng,
+            self.spec,
+            &self.cfg,
+            &mut self.call_depth_hwm,
+        );
     }
 
     /// Advances a walk by one control transfer.
     fn advance_walk(
         program: &Program,
         walk: &mut Walk,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         spec: &WorkloadSpec,
         cfg: &EngineConfig,
+        depth_hwm: &mut usize,
     ) {
         let block = walk.current.expect("advance requires a current block");
         match program.block(block).terminator() {
             Terminator::Jump(dst) => walk.current = Some(*dst),
             Terminator::Branch(targets) => {
-                let mut u: f64 = rng.gen();
+                let mut u: f64 = rng.gen_f64();
                 let mut chosen = targets.last().expect("validated nonempty").dst;
                 for t in targets {
                     if u < t.prob {
@@ -244,6 +303,7 @@ impl<'a> Engine<'a> {
                     walk.current = Some(*ret_to);
                 } else {
                     walk.stack.push(*ret_to);
+                    *depth_hwm = (*depth_hwm).max(walk.stack.len());
                     walk.current = Some(program.routine(*callee).entry());
                 }
             }
@@ -259,7 +319,7 @@ impl<'a> Engine<'a> {
 
 /// Samples an index proportional to `weights` (which need not be
 /// normalized). Returns 0 if all weights are zero.
-fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+fn weighted_choice(rng: &mut Rng, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
     if total <= 0.0 {
         return 0;
@@ -277,9 +337,7 @@ fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oslay_model::synth::{
-        generate_app_mix, generate_kernel, AppParams, KernelParams, Scale,
-    };
+    use oslay_model::synth::{generate_app_mix, generate_kernel, AppParams, KernelParams, Scale};
 
     use crate::{standard_workloads, StandardWorkload};
 
@@ -374,7 +432,11 @@ mod tests {
         let mut engine = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(8));
         let trace = engine.run(1_000);
         for ev in trace.events() {
-            if let TraceEvent::Block { id, domain: Domain::Os } = ev {
+            if let TraceEvent::Block {
+                id,
+                domain: Domain::Os,
+            } = ev
+            {
                 assert!(id.index() < kernel.program.num_blocks());
             }
         }
@@ -382,7 +444,7 @@ mod tests {
 
     #[test]
     fn weighted_choice_respects_weights() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let w = [0.0, 0.0, 1.0, 0.0];
         for _ in 0..100 {
             assert_eq!(weighted_choice(&mut rng, &w), 2);
@@ -437,6 +499,54 @@ mod tests {
         for (i, &h) in hit.iter().enumerate() {
             assert!(h > 100, "dispatch target {i} hit only {h} times");
         }
+    }
+
+    #[test]
+    fn probe_collects_shape_metrics() {
+        use oslay_observe::MetricRegistry;
+
+        let (kernel, specs) = setup();
+        let spec = &specs[0]; // TRFD_4: app + OS
+        let app = generate_app_mix(
+            &StandardWorkload::Trfd4.app_components(),
+            &AppParams::new(3).with_scale(0.3),
+        );
+        let reg = Arc::new(MetricRegistry::new());
+        let mut engine = Engine::new(&kernel.program, Some(&app), spec, EngineConfig::new(4))
+            .with_probe(reg.clone());
+        let trace = engine.run(5_000);
+
+        let inv = reg.histogram("trace.invocation_len").expect("invocations");
+        assert!(inv.count() > 0);
+        assert_eq!(
+            inv.sum(),
+            trace.os_blocks(),
+            "every OS block is in some invocation"
+        );
+        let burst = reg.histogram("trace.burst_len").expect("bursts");
+        assert_eq!(
+            burst.sum(),
+            trace.app_blocks(),
+            "every app block is in some burst"
+        );
+        let hwm = reg
+            .gauge("trace.call_depth_hwm")
+            .expect("gauge set after run");
+        assert!(hwm >= 1.0, "synthetic programs make calls");
+        assert_eq!(hwm as usize, engine.call_depth_high_water());
+    }
+
+    #[test]
+    fn probe_free_engine_matches_probed_engine() {
+        use oslay_observe::MetricRegistry;
+
+        let (kernel, specs) = setup();
+        let plain = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(5)).run(3_000);
+        let reg = Arc::new(MetricRegistry::new());
+        let probed = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(5))
+            .with_probe(reg)
+            .run(3_000);
+        assert_eq!(plain, probed, "instrumentation must not perturb the walk");
     }
 
     #[test]

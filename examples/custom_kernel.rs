@@ -57,7 +57,10 @@ fn build_kernel(cache_size: u32) -> Program {
     let done = b.add_block(16);
     b.terminate(
         entry,
-        Terminator::branch([BranchTarget::new(hot, 0.995), BranchTarget::new(rare, 0.005)]),
+        Terminator::branch([
+            BranchTarget::new(hot, 0.995),
+            BranchTarget::new(rare, 0.005),
+        ]),
     );
     b.terminate(hot, Terminator::Jump(call));
     b.terminate(rare, Terminator::Jump(call));
@@ -110,7 +113,13 @@ fn main() {
         ("Base", base_layout(&program, 0)),
         (
             "OptS",
-            optimize_os(&program, &profile, &loops, &OptParams::opt_s(cache_cfg.size())).layout,
+            optimize_os(
+                &program,
+                &profile,
+                &loops,
+                &OptParams::opt_s(cache_cfg.size()),
+            )
+            .layout,
         ),
     ] {
         let mut cache = Cache::new(cache_cfg);

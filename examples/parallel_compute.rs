@@ -49,7 +49,13 @@ fn main() {
             study.app_base_layout(case)
         };
         let mut cache = Cache::new(cfg);
-        let r = study.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast());
+        let r = study.simulate(
+            case,
+            &os.layout,
+            app.as_ref(),
+            &mut cache,
+            &SimConfig::fast(),
+        );
         table.row([
             label.to_owned(),
             r.stats.total_misses().to_string(),

@@ -44,7 +44,11 @@ fn main() {
         case.name(),
         case.trace.os_blocks()
     );
-    for kind in [OsLayoutKind::Base, OsLayoutKind::ChangHwu, OsLayoutKind::OptS] {
+    for kind in [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+    ] {
         let os = study.os_layout(kind, cache_cfg.size());
         let mut cache = Cache::new(cache_cfg);
         let r = study.simulate(case, &os.layout, None, &mut cache, &SimConfig::fast());

@@ -1,0 +1,7 @@
+//! Root-package forwarder so `cargo run --release --bin all_experiments`
+//! works from the repository root (the per-figure binaries live in the
+//! `oslay-bench` package; this digest is the one most people want).
+
+fn main() {
+    oslay_bench::digest::run();
+}

@@ -59,8 +59,7 @@ fn footprints_order_like_the_paper() {
         .cases()
         .iter()
         .map(|c| {
-            ref_characteristics(&s.kernel().program, &c.os_profile, &c.trace)
-                .executed_code_fraction
+            ref_characteristics(&s.kernel().program, &c.os_profile, &c.trace).executed_code_fraction
         })
         .collect();
     let trfd4 = frac[0];
@@ -157,7 +156,11 @@ fn few_routines_absorb_most_invocations() {
     // Paper Figure 6.
     let s = study();
     let skew = InvocationSkew::measure(&s.kernel().program, s.averaged_os_profile());
-    assert!(skew.top_share(10) > 40.0, "top-10 share {}", skew.top_share(10));
+    assert!(
+        skew.top_share(10) > 40.0,
+        "top-10 share {}",
+        skew.top_share(10)
+    );
 }
 
 #[test]

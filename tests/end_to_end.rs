@@ -18,9 +18,15 @@ fn misses(case_idx: usize, kind: OsLayoutKind, cfg: CacheConfig) -> u64 {
     let os = s.os_layout(kind, cfg.size());
     let app = s.app_base_layout(case);
     let mut cache = Cache::new(cfg);
-    s.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
-        .stats
-        .total_misses()
+    s.simulate(
+        case,
+        &os.layout,
+        app.as_ref(),
+        &mut cache,
+        &SimConfig::fast(),
+    )
+    .stats
+    .total_misses()
 }
 
 #[test]
@@ -103,7 +109,13 @@ fn opta_eliminates_app_self_interference() {
         let os = s.os_layout(OsLayoutKind::OptS, cfg.size());
         let app_opt = s.app_opt_layout(case, cfg.size());
         let mut cache = Cache::new(cfg);
-        let r = s.simulate(case, &os.layout, app_opt.as_ref(), &mut cache, &SimConfig::fast());
+        let r = s.simulate(
+            case,
+            &os.layout,
+            app_opt.as_ref(),
+            &mut cache,
+            &SimConfig::fast(),
+        );
         let app_self = r.stats.misses(MissKind::AppSelf);
         let app_total = r.stats.accesses(Domain::App);
         assert!(
@@ -169,15 +181,27 @@ fn split_cache_is_not_better_than_unified_opta() {
         let app = s.app_opt_layout(case, cfg.size());
         let unified = {
             let mut cache = Cache::new(cfg);
-            s.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
-                .stats
-                .total_misses()
+            s.simulate(
+                case,
+                &os.layout,
+                app.as_ref(),
+                &mut cache,
+                &SimConfig::fast(),
+            )
+            .stats
+            .total_misses()
         };
         let split = {
             let mut cache = SplitCache::halves_of(cfg);
-            s.simulate(case, &os.layout, app.as_ref(), &mut cache, &SimConfig::fast())
-                .stats
-                .total_misses()
+            s.simulate(
+                case,
+                &os.layout,
+                app.as_ref(),
+                &mut cache,
+                &SimConfig::fast(),
+            )
+            .stats
+            .total_misses()
         };
         assert!(
             split as f64 > 0.95 * unified as f64,

@@ -1,0 +1,89 @@
+//! End-to-end observability: a real study run must produce a run report
+//! that survives the JSON round trip, and `kobserve::compare` must catch
+//! an injected miss-rate regression between two such reports.
+
+use std::sync::Arc;
+
+use oslay::cache::{Cache, CacheConfig};
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+use oslay_observe::{compare, global_recorder, MetricRegistry, Probe, RunReport};
+
+/// Runs the first workload (OS + application) under Base and OptS with a
+/// probed cache and reports both miss rates.
+fn probed_report(study: &Study, name: &str) -> RunReport {
+    let registry = Arc::new(MetricRegistry::new());
+    let case = &study.cases()[0]; // traces an application too
+    let app = study.app_base_layout(case);
+    let mut fields = Vec::new();
+    for kind in [OsLayoutKind::Base, OsLayoutKind::OptS] {
+        let os = study.os_layout(kind, 8192);
+        let probe: Arc<dyn Probe + Send + Sync> = Arc::clone(&registry) as _;
+        let mut cache = Cache::with_probe(CacheConfig::paper_default(), probe);
+        let r = study.simulate(
+            case,
+            &os.layout,
+            app.as_ref(),
+            &mut cache,
+            &SimConfig::fast(),
+        );
+        cache.record_occupancy();
+        fields.push((kind.name().to_owned(), r.miss_rate()));
+    }
+    let mut report = RunReport::new(name);
+    report.add_spans(global_recorder());
+    report.add_metrics(&registry);
+    report.add_section("fig12.case0", fields);
+    report
+}
+
+#[test]
+fn study_report_round_trips_through_json() {
+    let study = Study::generate(&StudyConfig::tiny());
+    let report = probed_report(&study, "itest");
+
+    // The real pipeline populated every report section.
+    assert!(
+        report.spans().iter().any(|s| s.name == "study.sim"),
+        "missing simulation span"
+    );
+    assert!(
+        report.metric_count() >= 8,
+        "only {} metrics",
+        report.metric_count()
+    );
+    assert!(
+        report
+            .counters()
+            .iter()
+            .any(|(name, n)| name == "cache.miss.os-self" && *n > 0),
+        "probe saw no OS self-interference misses"
+    );
+    let base = report.section_field("fig12.case0", "Base").unwrap();
+    let opts = report.section_field("fig12.case0", "OptS").unwrap();
+    assert!(opts < base, "OptS ({opts}) must beat Base ({base})");
+
+    // MissStats -> report -> JSON -> parse-back preserves everything.
+    let parsed = RunReport::from_json(&report.to_json().to_json_pretty()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn compare_detects_injected_miss_rate_regression() {
+    let study = Study::generate(&StudyConfig::tiny());
+    let baseline = probed_report(&study, "baseline");
+
+    // An identical rerun is regression-free.
+    let rerun = probed_report(&study, "rerun");
+    assert!(compare(&baseline, &rerun, 0.01).is_empty());
+
+    // Inject a 10% OptS miss-rate regression; a 5% tolerance must flag
+    // it, and only it.
+    let mut current = RunReport::new("current");
+    let base = baseline.section_field("fig12.case0", "Base").unwrap();
+    let opts = baseline.section_field("fig12.case0", "OptS").unwrap();
+    current.add_section("fig12.case0", [("Base", base), ("OptS", opts * 1.10)]);
+    let regressions = compare(&baseline, &current, 0.05);
+    assert_eq!(regressions.len(), 1, "regressions: {regressions:?}");
+    assert_eq!(regressions[0].path, "fig12.case0.OptS");
+    assert!((regressions[0].relative_increase() - 0.10).abs() < 1e-9);
+}

@@ -1,8 +1,11 @@
-//! Property-based tests on the core data structures: random programs must
-//! always produce valid layouts, and the cache simulator must agree with a
-//! simple reference LRU model on arbitrary address streams.
-
-use proptest::prelude::*;
+//! Randomized-property tests on the core data structures: random programs
+//! must always produce valid layouts, and the cache simulator must agree
+//! with a simple reference LRU model on arbitrary address streams.
+//!
+//! The random cases are drawn from the workspace's own deterministic
+//! [`Rng`] under fixed seeds — same coverage as a property-testing
+//! framework, no external crate, and any failure reproduces exactly from
+//! the seed embedded in the test.
 
 use oslay::cache::{Cache, CacheConfig, InstructionCache};
 use oslay::layout::{base_layout, chang_hwu_layout, optimize_os, OptParams};
@@ -11,8 +14,9 @@ use oslay::model::{
 };
 use oslay::profile::{LoopAnalysis, Profile};
 use oslay::trace::{Engine, EngineConfig, WorkloadSpec};
+use oslay_model::rng::Rng;
 
-// ---------- random program strategy -------------------------------------
+// ---------- random program generation ------------------------------------
 
 #[derive(Clone, Debug)]
 struct RoutineSpec {
@@ -24,17 +28,18 @@ struct RoutineSpec {
     back_edge: bool,
 }
 
-fn routine_spec() -> impl Strategy<Value = RoutineSpec> {
-    (
-        prop::collection::vec(4u32..64, 2..9),
-        prop::collection::vec(0u8..3, 8),
-        any::<bool>(),
-    )
-        .prop_map(|(sizes, shapes, back_edge)| RoutineSpec {
-            sizes,
-            shapes,
-            back_edge,
-        })
+fn routine_spec(rng: &mut Rng) -> RoutineSpec {
+    let num_blocks = rng.gen_range(2usize..9);
+    RoutineSpec {
+        sizes: (0..num_blocks).map(|_| rng.gen_range(4u32..64)).collect(),
+        shapes: (0..8).map(|_| rng.gen_range(0u32..3) as u8).collect(),
+        back_edge: rng.gen_bool(0.5),
+    }
+}
+
+fn random_specs(rng: &mut Rng, routines: std::ops::Range<usize>) -> Vec<RoutineSpec> {
+    let n = rng.gen_range(routines);
+    (0..n).map(|_| routine_spec(rng)).collect()
 }
 
 fn build_program(specs: &[RoutineSpec]) -> Program {
@@ -66,7 +71,13 @@ fn build_program(specs: &[RoutineSpec]) -> Program {
                 );
             } else if shape == 2 && !routines.is_empty() {
                 let callee = routines[i % routines.len()];
-                b.terminate(this, Terminator::Call { callee, ret_to: next });
+                b.terminate(
+                    this,
+                    Terminator::Call {
+                        callee,
+                        ret_to: next,
+                    },
+                );
             } else {
                 b.terminate(this, Terminator::Jump(next));
             }
@@ -108,14 +119,12 @@ fn assert_layout_valid(program: &Program, layout: &oslay::layout::Layout) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_programs_produce_valid_layouts(
-        specs in prop::collection::vec(routine_spec(), 4..14),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn random_programs_produce_valid_layouts() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x1a70_0000 + case);
+        let specs = random_specs(&mut rng, 4..14);
+        let seed = rng.gen_range(0u64..1000);
         let program = build_program(&specs);
         // Base layout needs no profile.
         assert_layout_valid(&program, &base_layout(&program, 0));
@@ -137,12 +146,14 @@ proptest! {
         let optl = optimize_os(&program, &profile, &loops, &OptParams::opt_l(1024));
         assert_layout_valid(&program, &optl.layout);
     }
+}
 
-    #[test]
-    fn profile_conservation_on_random_programs(
-        specs in prop::collection::vec(routine_spec(), 3..10),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn profile_conservation_on_random_programs() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x9207_0000 + case);
+        let specs = random_specs(&mut rng, 3..10);
+        let seed = rng.gen_range(0u64..1000);
         let program = build_program(&specs);
         let spec = WorkloadSpec {
             name: "prop".into(),
@@ -153,24 +164,22 @@ proptest! {
         let trace = Engine::new(&program, None, &spec, EngineConfig::new(seed)).run(2_000);
         let profile = Profile::collect(&program, &trace);
         // Node weights sum to traced blocks.
-        prop_assert_eq!(profile.total_node_weight(), trace.os_blocks());
+        assert_eq!(profile.total_node_weight(), trace.os_blocks());
         // Out-arc weights never exceed the node weight.
         for b in profile.executed_blocks() {
             let out: u64 = profile.out_arcs(b).iter().map(|&(_, w)| w).sum();
-            prop_assert!(out <= profile.node_weight(b));
+            assert!(out <= profile.node_weight(b));
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn sequence_invariants_on_random_programs(
-        specs in prop::collection::vec(routine_spec(), 4..12),
-        seed in 0u64..1000,
-    ) {
-        use oslay::layout::{build_sequences, ThresholdSchedule};
+#[test]
+fn sequence_invariants_on_random_programs() {
+    use oslay::layout::{build_sequences, ThresholdSchedule};
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x5e90_0000 + case);
+        let specs = random_specs(&mut rng, 4..12);
+        let seed = rng.gen_range(0u64..1000);
         let program = build_program(&specs);
         let spec = WorkloadSpec {
             name: "prop".into(),
@@ -184,35 +193,37 @@ proptest! {
 
         // 1. Every executed block is captured by the final (0,0) pass.
         for b in profile.executed_blocks() {
-            prop_assert!(seqs.contains(b), "executed block {} missed", b);
+            assert!(seqs.contains(b), "executed block {b} missed");
         }
         // 2. No unexecuted block is ever captured.
         for i in 0..program.num_blocks() {
             let b = oslay::model::BlockId::new(i);
             if profile.node_weight(b) == 0 {
-                prop_assert!(!seqs.contains(b), "cold block {} captured", b);
+                assert!(!seqs.contains(b), "cold block {b} captured");
             }
         }
         // 3. No block appears in two sequences.
         let mut seen = vec![false; program.num_blocks()];
         for (_, b) in seqs.blocks_in_order() {
-            prop_assert!(!seen[b.index()], "block {} captured twice", b);
+            assert!(!seen[b.index()], "block {b} captured twice");
             seen[b.index()] = true;
         }
         // 4. Per-pass exec thresholds are respected.
         for s in seqs.sequences() {
             for &b in &s.blocks {
-                prop_assert!(profile.exec_ratio(b) >= s.exec_thresh);
+                assert!(profile.exec_ratio(b) >= s.exec_thresh);
             }
         }
     }
+}
 
-    #[test]
-    fn scf_protection_on_random_programs(
-        specs in prop::collection::vec(routine_spec(), 4..12),
-        seed in 0u64..1000,
-    ) {
-        use oslay::layout::BlockClass;
+#[test]
+fn scf_protection_on_random_programs() {
+    use oslay::layout::BlockClass;
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x5cf0_0000 + case);
+        let specs = random_specs(&mut rng, 4..12);
+        let seed = rng.gen_range(0u64..1000);
         let program = build_program(&specs);
         let spec = WorkloadSpec {
             name: "prop".into(),
@@ -230,26 +241,26 @@ proptest! {
         for b in profile.executed_blocks() {
             let offset = opt.layout.addr(b) % u64::from(cache_size);
             if opt.class(b) == BlockClass::SelfConfFree {
-                prop_assert!(opt.layout.addr(b) < opt.scf_bytes);
+                assert!(opt.layout.addr(b) < opt.scf_bytes);
             } else if opt.scf_bytes > 0 {
-                prop_assert!(
+                assert!(
                     offset >= opt.scf_bytes,
-                    "executed block {} at protected offset {}",
-                    b,
-                    offset
+                    "executed block {b} at protected offset {offset}"
                 );
             }
             // Executed blocks are never classified Cold.
-            prop_assert!(opt.class(b) != BlockClass::Cold);
+            assert!(opt.class(b) != BlockClass::Cold);
         }
     }
+}
 
-    #[test]
-    fn traces_are_well_formed_on_random_programs(
-        specs in prop::collection::vec(routine_spec(), 3..10),
-        seed in 0u64..1000,
-    ) {
-        use oslay::trace::TraceEvent;
+#[test]
+fn traces_are_well_formed_on_random_programs() {
+    use oslay::trace::TraceEvent;
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x7ace_0000 + case);
+        let specs = random_specs(&mut rng, 3..10);
+        let seed = rng.gen_range(0u64..1000);
         let program = build_program(&specs);
         let spec = WorkloadSpec {
             name: "prop".into(),
@@ -262,20 +273,20 @@ proptest! {
         for e in trace.events() {
             match e {
                 TraceEvent::OsEnter(_) => {
-                    prop_assert!(!in_os);
+                    assert!(!in_os);
                     in_os = true;
                 }
                 TraceEvent::OsExit => {
-                    prop_assert!(in_os);
+                    assert!(in_os);
                     in_os = false;
                 }
                 TraceEvent::Block { id, .. } => {
-                    prop_assert!(in_os);
-                    prop_assert!(id.index() < program.num_blocks());
+                    assert!(in_os);
+                    assert!(id.index() < program.num_blocks());
                 }
             }
         }
-        prop_assert!(!in_os);
+        assert!(!in_os);
     }
 }
 
@@ -316,28 +327,24 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn cache_agrees_with_reference_lru(
-        addrs in prop::collection::vec(0u64..4096, 1..600),
-        ways_pow in 0u32..3,
-        line_pow in 4u32..7,
-    ) {
+#[test]
+fn cache_agrees_with_reference_lru() {
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xca5e_0000 + case);
+        let num_addrs = rng.gen_range(1usize..600);
+        let addrs: Vec<u64> = (0..num_addrs).map(|_| rng.gen_range(0u64..4096)).collect();
+        let ways_pow = rng.gen_range(0u32..3);
+        let line_pow = rng.gen_range(4u32..7);
         let cfg = CacheConfig::new(1024, 1 << line_pow, 1 << ways_pow);
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
         for &addr in &addrs {
             let hit = !cache.access(addr, Domain::Os).is_miss();
             let ref_hit = reference.access(addr);
-            prop_assert_eq!(hit, ref_hit, "divergence at {:#x}", addr);
+            assert_eq!(hit, ref_hit, "divergence at {addr:#x}");
         }
         // Accounting invariant.
         let s = cache.stats();
-        prop_assert_eq!(
-            s.hits(Domain::Os) + s.total_misses(),
-            addrs.len() as u64
-        );
+        assert_eq!(s.hits(Domain::Os) + s.total_misses(), addrs.len() as u64);
     }
 }
