@@ -13,4 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== diag smoke (tiny workload) + results schema check =="
+# The smoke run writes its report into a scratch results/ so the committed
+# paper-scale artifacts stay untouched; the schema check then validates
+# both the fresh report and everything committed under results/.
+tmpdir="$(mktemp -d)"
+(
+  cd "$tmpdir"
+  mkdir -p results
+  cargo run --release -q --manifest-path "$OLDPWD/Cargo.toml" -p oslay-bench --bin diag -- \
+    --compare base opts --scale tiny > /dev/null
+  cargo run --release -q --manifest-path "$OLDPWD/Cargo.toml" -p oslay-bench --bin diag -- \
+    --check-results
+)
+rm -rf "$tmpdir"
+cargo run --release -q -p oslay-bench --bin diag -- --check-results
+
 echo "CI OK"

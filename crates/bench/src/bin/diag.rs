@@ -1,0 +1,6 @@
+//! Conflict diagnosis CLI; the implementation lives in
+//! [`oslay_bench::diag`] so the root package can forward to it too.
+
+fn main() {
+    oslay_bench::diag::run();
+}

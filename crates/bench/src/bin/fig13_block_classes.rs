@@ -7,19 +7,26 @@
 //! three workloads (Shell is OtherSeq-dominated), and 67–83% of the Base
 //! misses (33% for Shell); loops cause practically no misses; OptS pushes
 //! the MainSeq misses below C-H and eliminates the SelfConfFree misses.
+//!
+//! Every simulation runs through the attribution engine, so
+//! `results/fig13_block_classes.json` additionally carries the
+//! compulsory/capacity/conflict split and the measured census per layout
+//! (sections `fig13.<workload>.<layout>`).
 
 use oslay::analysis::classify::class_breakdown;
 use oslay::analysis::report::{pct, TextTable};
-use oslay::cache::{Cache, CacheConfig};
+use oslay::cache::CacheConfig;
 use oslay::layout::{optimize_os, OptParams};
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args};
+use oslay_bench::{banner, config_from_args, run_case_attributed, AppSide, Reporter};
 
 fn main() {
     let config = config_from_args();
     banner("Figure 13: references and misses by block class", &config);
     let study = Study::generate(&config);
     let program = &study.kernel().program;
+    let mut reporter = Reporter::new("fig13_block_classes");
+    let registry = reporter.registry();
 
     // Classes are fixed by the block's type in OptL, as in the paper.
     let reference = optimize_os(
@@ -48,15 +55,14 @@ fn main() {
             OsLayoutKind::OptS,
             OsLayoutKind::OptL,
         ] {
-            let os = study.os_layout(kind, 8192);
-            let app = study.app_base_layout(case);
-            let mut cache = Cache::new(CacheConfig::paper_default());
-            let r = study.simulate(
+            let (r, attr) = run_case_attributed(
+                &study,
                 case,
-                &os.layout,
-                app.as_ref(),
-                &mut cache,
+                kind,
+                AppSide::Base,
+                CacheConfig::paper_default(),
                 &SimConfig::full(),
+                Some(&registry),
             );
             let bd = class_breakdown(
                 program,
@@ -68,8 +74,14 @@ fn main() {
             cells.extend(bd.rows.iter().map(|&(_, refs, _)| pct(refs)));
             cells.extend(bd.rows.iter().map(|&(_, _, miss)| pct(miss)));
             table.row(cells);
+            reporter.add_section(
+                &format!("fig13.{}.{}", case.name(), kind.name()),
+                attr.section_fields(),
+            );
         }
         print!("{}", table.render());
         println!();
     }
+    let path = reporter.finish();
+    println!("Run report: {}", path.display());
 }

@@ -6,14 +6,21 @@
 //!
 //! Paper shape: C-H reduces the Base miss peaks; OptS flattens them
 //! further, leaving only small peaks.
+//!
+//! Every simulation runs through the attribution engine; besides the
+//! address-space chart this prints the per-set pressure heatmap (the
+//! cache-index view of the same peaks) and writes the aggregated
+//! compulsory/capacity/conflict split per layout to
+//! `results/fig14_miss_distribution.json` (sections `fig14.<layout>`).
 
-use oslay::analysis::figures::render_address_map;
+use oslay::analysis::figures::{render_address_map, render_set_heatmap};
 use oslay::analysis::missmap::AddressHistogram;
 use oslay::analysis::report::{bar_chart, pct};
-use oslay::cache::{Cache, CacheConfig};
+use oslay::cache::CacheConfig;
 use oslay::model::BlockId;
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args};
+use oslay_bench::{banner, config_from_args, run_case_attributed, AppSide, Reporter};
+use oslay_observe::AttrClass;
 
 fn main() {
     let config = config_from_args();
@@ -23,24 +30,28 @@ fn main() {
     );
     let study = Study::generate(&config);
     let base = study.os_layout(OsLayoutKind::Base, 8192);
+    let mut reporter = Reporter::new("fig14_miss_distribution");
+    let registry = reporter.registry();
 
     for kind in [
         OsLayoutKind::Base,
         OsLayoutKind::ChangHwu,
         OsLayoutKind::OptS,
     ] {
-        let os = study.os_layout(kind, 8192);
         let mut map = AddressHistogram::paper();
         let mut total_misses = 0u64;
+        let mut class_misses = [0u64; 3];
+        let mut set_misses: Option<Vec<u64>> = None;
+        let mut matrix_total = 0u64;
         for case in study.cases() {
-            let app = study.app_base_layout(case);
-            let mut cache = Cache::new(CacheConfig::paper_default());
-            let r = study.simulate(
+            let (r, attr) = run_case_attributed(
+                &study,
                 case,
-                &os.layout,
-                app.as_ref(),
-                &mut cache,
+                kind,
+                AppSide::Base,
+                CacheConfig::paper_default(),
                 &SimConfig::full(),
+                Some(&registry),
             );
             let misses = r.os_block_misses.as_ref().unwrap();
             for (i, &m) in misses.iter().enumerate() {
@@ -50,6 +61,18 @@ fn main() {
                 }
             }
             total_misses += r.stats.domain_misses(oslay::model::Domain::Os);
+            for class in AttrClass::ALL {
+                class_misses[class.index()] += attr.misses_of(class);
+            }
+            matrix_total += attr.matrix.total();
+            match set_misses.as_mut() {
+                Some(acc) => {
+                    for (slot, &m) in acc.iter_mut().zip(&attr.set_misses) {
+                        *slot += m;
+                    }
+                }
+                None => set_misses = Some(attr.set_misses.clone()),
+            }
         }
         println!(
             "{}: {} OS misses; peak 1-KB range {} misses; top-5 ranges hold {}:",
@@ -65,6 +88,26 @@ fn main() {
             .map(|(addr, count)| (format!("{addr:#08x}"), count as f64))
             .collect();
         print!("{}", bar_chart(&items, 48));
+        let all_misses: u64 = class_misses.iter().sum();
+        println!(
+            "attribution (all domains): compulsory {}, capacity {}, conflict {} ({})",
+            class_misses[AttrClass::Compulsory.index()],
+            class_misses[AttrClass::Capacity.index()],
+            class_misses[AttrClass::Conflict.index()],
+            pct(class_misses[AttrClass::Conflict.index()] as f64 / all_misses.max(1) as f64),
+        );
+        if let Some(sets) = &set_misses {
+            print!("{}", render_set_heatmap(sets, 96));
+        }
         println!();
+        let mut fields: Vec<(String, f64)> = AttrClass::ALL
+            .iter()
+            .map(|&c| (c.label().to_owned(), class_misses[c.index()] as f64))
+            .collect();
+        fields.push(("os_misses".to_owned(), total_misses as f64));
+        fields.push(("matrix_total".to_owned(), matrix_total as f64));
+        reporter.add_section(&format!("fig14.{}", kind.name()), fields);
     }
+    let path = reporter.finish();
+    println!("Run report: {}", path.display());
 }

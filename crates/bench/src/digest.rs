@@ -17,7 +17,11 @@ use oslay::model::ProgramStats;
 use oslay::perf::ExecTimeModel;
 use oslay::{OsLayoutKind, SimConfig, Study};
 
-use crate::{banner, config_from_args, figure12_ladder, run_case_probed, Reporter};
+use crate::{
+    banner, config_from_args, figure12_ladder, run_case_attributed, run_case_probed, AppSide,
+    Reporter,
+};
+use oslay_observe::AttrClass;
 
 /// Runs the full digest: parses the common CLI arguments, evaluates every
 /// headline number, prints the tables, and writes
@@ -143,6 +147,64 @@ pub fn run() {
         mean_speedup
     );
     reporter.add_section("fig15b", [("mean_time_reduction_pct", mean_speedup)]);
+    println!();
+
+    // Miss attribution digest: why Base misses and what OptS removed.
+    // The `attr.*` sections make `compare()` catch conflict-structure
+    // regressions (conflict count, matrix weight, set imbalance) that the
+    // aggregate miss rate can hide.
+    let shell = &study.cases()[3];
+    println!("Miss attribution on Shell (8KB DM, compulsory/capacity/conflict):");
+    let mut table = TextTable::new(["layout", "compulsory", "capacity", "conflict", "set CV"]);
+    let mut attr_reports = Vec::new();
+    for (label, kind) in [("base", OsLayoutKind::Base), ("opt_s", OsLayoutKind::OptS)] {
+        let (_, attr) = run_case_attributed(
+            &study,
+            shell,
+            kind,
+            AppSide::Base,
+            cfg,
+            &SimConfig::fast(),
+            Some(&registry),
+        );
+        table.row([
+            label.to_owned(),
+            format!(
+                "{} ({})",
+                attr.misses_of(AttrClass::Compulsory),
+                pct(attr.misses_of(AttrClass::Compulsory) as f64 / attr.total_misses.max(1) as f64)
+            ),
+            format!(
+                "{} ({})",
+                attr.misses_of(AttrClass::Capacity),
+                pct(attr.misses_of(AttrClass::Capacity) as f64 / attr.total_misses.max(1) as f64)
+            ),
+            format!(
+                "{} ({})",
+                attr.misses_of(AttrClass::Conflict),
+                pct(attr.conflict_share())
+            ),
+            format!("{:.2}", attr.set_imbalance()),
+        ]);
+        reporter.add_section(&format!("attr.{label}"), attr.section_fields());
+        attr_reports.push(attr);
+    }
+    print!("{}", table.render());
+    let diff = oslay::cache::diff_attribution(&attr_reports[0], &attr_reports[1]);
+    println!(
+        "OptS resolves {} conflict pairs and introduces {} \
+         (net conflict misses: {:+}); run `--bin diag` for the ranked list.",
+        diff.resolved.len(),
+        diff.introduced.len(),
+        diff.conflict_delta()
+    );
+    reporter.add_section(
+        "attr.diff",
+        [
+            ("introduced_pairs", diff.introduced.len() as f64),
+            ("conflict_delta", diff.conflict_delta() as f64),
+        ],
+    );
     println!();
 
     // Dynamic code growth of the OptS layout (Section 4.3).

@@ -12,16 +12,20 @@
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod digest;
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use oslay::cache::{Cache, CacheConfig, InstructionCache};
+use oslay::cache::{
+    AddressMap, AttributedCache, AttributionReport, Cache, CacheConfig, InstructionCache,
+};
 use oslay::{OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, WorkloadCase};
 use oslay_layout::Layout;
 use oslay_model::synth::Scale;
-use oslay_observe::{global_recorder, MetricRegistry, Probe, RunReport};
+use oslay_model::Domain;
+use oslay_observe::{global_recorder, AttributionProbe, MetricRegistry, Probe, RunReport};
 
 /// Parses the common experiment arguments into a [`StudyConfig`].
 ///
@@ -131,6 +135,57 @@ pub fn run_case_probed(
     let result = study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim);
     cache.record_occupancy();
     result
+}
+
+/// Like [`run_case`], but through the attribution engine: every miss is
+/// classified compulsory/capacity/conflict, charged to its cache set,
+/// Figure 13 block class, OS entry class, and (for conflicts) its
+/// evictor→victim pair. Returns the usual [`SimResult`] plus the
+/// [`AttributionReport`].
+///
+/// When `registry` is given, each classified miss also streams into it as
+/// `cache.attr.*` metrics.
+#[must_use]
+pub fn run_case_attributed(
+    study: &Study,
+    case: &WorkloadCase,
+    os_kind: OsLayoutKind,
+    app_side: AppSide,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    registry: Option<&Arc<MetricRegistry>>,
+) -> (SimResult, AttributionReport) {
+    let os = study.os_layout(os_kind, cache_cfg.size());
+    let app = match app_side {
+        AppSide::Base => study.app_base_layout(case),
+        AppSide::Optimized => study.app_opt_layout(case, cache_cfg.size()),
+        AppSide::ChangHwu => study.app_ch_layout(case),
+    };
+    let mut spans = oslay_layout::layout_spans(
+        &study.kernel().program,
+        &os.layout,
+        Domain::Os,
+        os.classes.as_deref(),
+    );
+    if let (Some(app_layout), Some(app_program)) = (app.as_ref(), case.app.as_ref()) {
+        // App and OS address spaces are disjoint, so one map holds both.
+        spans.extend(oslay_layout::layout_spans(
+            app_program,
+            app_layout,
+            Domain::App,
+            None,
+        ));
+    }
+    let map = Arc::new(AddressMap::build(spans));
+    let mut cache = match registry {
+        Some(reg) => {
+            let probe: Arc<dyn AttributionProbe + Send + Sync> = Arc::clone(reg) as _;
+            AttributedCache::with_probe(Cache::new(cache_cfg), map, probe)
+        }
+        None => AttributedCache::new(Cache::new(cache_cfg), map),
+    };
+    let result = study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim);
+    (result, cache.report())
 }
 
 /// JSON run-report plumbing shared by the experiment binaries.

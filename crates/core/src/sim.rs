@@ -103,8 +103,22 @@ impl Study {
         });
 
         for event in case.trace.events() {
-            let TraceEvent::Block { id, domain } = *event else {
-                continue;
+            // Boundary and marker events feed the cache's diagnostic
+            // hooks (no-ops on plain caches) but fetch nothing.
+            let (id, domain) = match *event {
+                TraceEvent::Block { id, domain } => (id, domain),
+                TraceEvent::OsEnter(kind) => {
+                    cache.note_os_enter(kind);
+                    continue;
+                }
+                TraceEvent::OsExit => {
+                    cache.note_os_exit();
+                    continue;
+                }
+                TraceEvent::Mark(tag) => {
+                    cache.note_mark(tag);
+                    continue;
+                }
             };
             let layout = match domain {
                 Domain::Os => os_layout,

@@ -48,6 +48,57 @@ pub fn render_address_map(map: &AddressHistogram, width: usize, height: usize) -
     out
 }
 
+/// Shade ramp for [`render_set_heatmap`], coldest to hottest.
+const SHADES: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+
+/// Renders per-set miss counts as a one-line-per-scale ASCII heatmap:
+/// each column is one (or several, when `counts.len() > width`) cache
+/// sets, shaded ` .:-=+#@` by miss density relative to the hottest
+/// column. Returns an empty string when every count is zero.
+///
+/// Unlike [`render_address_map`] this is indexed by *cache set*, not by
+/// code address: two layouts of the same code produce directly comparable
+/// rows, which is what the `diag` layout diff prints them for.
+#[must_use]
+pub fn render_set_heatmap(counts: &[u64], width: usize) -> String {
+    let total: u64 = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return String::new();
+    }
+    let width = width.max(1).min(counts.len());
+    // Down-sample: column c covers sets [c*n/width, (c+1)*n/width).
+    let n = counts.len();
+    let mut columns = vec![0u64; width];
+    for (set, &c) in counts.iter().enumerate() {
+        columns[set * width / n] += c;
+    }
+    let max = columns.iter().copied().max().unwrap_or(1).max(1);
+
+    let mut out = String::new();
+    out.push_str("sets |");
+    for &c in &columns {
+        let top = SHADES.len() as u128 - 1;
+        let shade = if c == 0 {
+            0
+        } else {
+            // ceil(c * top / max): non-zero renders visibly, the hottest
+            // column always gets the top shade.
+            ((c as u128 * top).div_ceil(max as u128) as usize).min(SHADES.len() - 1)
+        };
+        out.push(SHADES[shade]);
+    }
+    out.push_str("|\n");
+    let (peak_set, &peak) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .expect("non-empty counts");
+    out.push_str(&format!(
+        "     0..{n} left to right; peak set {peak_set}: {peak} misses; total {total}\n",
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +144,38 @@ mod tests {
         let chart = render_address_map(&map, 10, 3);
         assert!(chart.contains("0x1000"));
         assert!(chart.contains("peak column"));
+    }
+
+    #[test]
+    fn set_heatmap_is_empty_for_zero_misses() {
+        assert_eq!(render_set_heatmap(&[0; 16], 16), "");
+        assert_eq!(render_set_heatmap(&[], 16), "");
+    }
+
+    #[test]
+    fn set_heatmap_shades_by_density() {
+        let mut counts = vec![0u64; 16];
+        counts[3] = 100;
+        counts[10] = 1;
+        let chart = render_set_heatmap(&counts, 16);
+        let row = chart.lines().next().unwrap();
+        let cells: Vec<char> = row
+            .trim_start_matches("sets |")
+            .trim_end_matches('|')
+            .chars()
+            .collect();
+        assert_eq!(cells.len(), 16);
+        assert_eq!(cells[3], '@', "hottest set gets the top shade");
+        assert_eq!(cells[10], '.', "non-zero sets are visible");
+        assert_eq!(cells[0], ' ', "cold sets stay blank");
+        assert!(chart.contains("peak set 3: 100 misses"));
+    }
+
+    #[test]
+    fn set_heatmap_downsamples_wide_inputs() {
+        let counts = vec![2u64; 256];
+        let chart = render_set_heatmap(&counts, 64);
+        let row = chart.lines().next().unwrap();
+        assert_eq!(row.chars().count(), 64 + "sets |".len() + 1);
     }
 }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod attribution;
 mod census;
 mod config;
 mod reserved;
@@ -28,14 +29,19 @@ mod sim;
 mod split;
 mod stats;
 
+pub use attribution::{
+    census_label, diff_attribution, AddressMap, AttributedCache, AttributionDiff,
+    AttributionReport, CodeClass, CodeRef, ConflictMatrix, ConflictPair, MatrixCell, PairDelta,
+    RoutineKey, ShadowTags, CENSUS_SLOTS,
+};
 pub use census::SetCensus;
 pub use config::CacheConfig;
 pub use reserved::ReservedCache;
-pub use sim::{AccessOutcome, Cache, MissKind};
+pub use sim::{AccessDetail, AccessOutcome, Cache, MissKind};
 pub use split::SplitCache;
 pub use stats::MissStats;
 
-use oslay_model::Domain;
+use oslay_model::{Domain, SeedKind};
 
 /// A trace-driven instruction cache.
 ///
@@ -50,4 +56,19 @@ pub trait InstructionCache: std::fmt::Debug {
 
     /// Clears contents and statistics.
     fn reset(&mut self);
+
+    /// Notes that the trace entered the operating system via `kind`.
+    /// Diagnostic caches use this to attribute misses per entry class;
+    /// the default is a no-op.
+    fn note_os_enter(&mut self, kind: SeedKind) {
+        let _ = kind;
+    }
+
+    /// Notes that the trace returned from the operating system.
+    fn note_os_exit(&mut self) {}
+
+    /// Notes a diagnostic phase marker (`TraceEvent::Mark`) with its tag.
+    fn note_mark(&mut self, tag: u32) {
+        let _ = tag;
+    }
 }

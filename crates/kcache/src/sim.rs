@@ -106,6 +106,25 @@ impl AccessOutcome {
     }
 }
 
+/// Detailed outcome of one fetch: the classical outcome plus the cache
+/// coordinates diagnostics need — which line and set the access touched
+/// and, on a fill that displaced a valid line, which line was evicted.
+///
+/// Produced by [`Cache::access_detailed`]; the attribution engine
+/// ([`crate::AttributedCache`]) consumes it to maintain evictor→victim
+/// provenance without duplicating the replacement logic.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct AccessDetail {
+    /// Hit, or miss with interference kind.
+    pub outcome: AccessOutcome,
+    /// The accessed (line-aligned) address.
+    pub line: u64,
+    /// The set the access mapped to.
+    pub set: u32,
+    /// The valid line displaced by this fill, if any.
+    pub evicted: Option<u64>,
+}
+
 #[derive(Copy, Clone, Debug)]
 struct Way {
     line: u64,
@@ -224,10 +243,10 @@ impl Cache {
         let base = set as usize * w;
         &mut self.ways[base..base + w]
     }
-}
 
-impl InstructionCache for Cache {
-    fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
+    /// Like [`InstructionCache::access`], but also reports the touched
+    /// line, its set, and the line evicted by the fill (if any).
+    pub fn access_detailed(&mut self, addr: u64, domain: Domain) -> AccessDetail {
         self.clock += 1;
         let clock = self.clock;
         let line = self.cfg.line_addr(addr);
@@ -239,7 +258,12 @@ impl InstructionCache for Cache {
             if way.valid && way.line == line {
                 way.lru = clock;
                 self.stats.record(domain, AccessOutcome::Hit);
-                return AccessOutcome::Hit;
+                return AccessDetail {
+                    outcome: AccessOutcome::Hit,
+                    line,
+                    set,
+                    evicted: None,
+                };
             }
         }
 
@@ -278,7 +302,18 @@ impl InstructionCache for Cache {
         }
         let outcome = AccessOutcome::Miss(kind);
         self.stats.record(domain, outcome);
-        outcome
+        AccessDetail {
+            outcome,
+            line,
+            set,
+            evicted: evictee.valid.then_some(evictee.line),
+        }
+    }
+}
+
+impl InstructionCache for Cache {
+    fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
+        self.access_detailed(addr, domain).outcome
     }
 
     fn stats(&self) -> &MissStats {
@@ -433,6 +468,22 @@ mod tests {
         assert_eq!(occ.count(), 4);
         assert_eq!(occ.sum(), 1);
         assert_eq!(reg.gauge("cache.occupancy"), Some(0.25));
+    }
+
+    #[test]
+    fn access_detailed_reports_line_set_and_eviction() {
+        let mut c = dm64();
+        let d = c.access_detailed(20, Domain::Os); // line 16, set 1
+        assert_eq!(d.outcome, AccessOutcome::Miss(MissKind::Cold));
+        assert_eq!(d.line, 16);
+        assert_eq!(d.set, 1);
+        assert_eq!(d.evicted, None, "filling an invalid way evicts nothing");
+        let d = c.access_detailed(16, Domain::Os);
+        assert_eq!(d.outcome, AccessOutcome::Hit);
+        assert_eq!(d.evicted, None);
+        let d = c.access_detailed(80, Domain::Os); // line 80, also set 1
+        assert!(d.outcome.is_miss());
+        assert_eq!(d.evicted, Some(16));
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod address;
 mod base;
 mod call_opt;
 mod chang_hwu;
+mod conflict;
 mod layout;
 mod logical;
 mod optapp;
@@ -41,6 +42,7 @@ pub use address::{fetch_stream, FetchStream};
 pub use base::base_layout;
 pub use call_opt::{call_opt_layout, CallOptParams};
 pub use chang_hwu::{chang_hwu_audited, chang_hwu_layout};
+pub use conflict::{address_map, code_class, layout_spans, measured_conflict_ranking};
 pub use layout::{Layout, LayoutBuilder, LayoutError};
 pub use logical::LogicalCacheAllocator;
 pub use optapp::{optimize_app, optimize_app_audited};

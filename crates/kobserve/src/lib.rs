@@ -37,6 +37,8 @@ mod span;
 
 pub use audit::{PlacementAudit, PlacementRecord};
 pub use json::{JsonError, JsonValue};
-pub use metrics::{Histogram, HistogramSummary, MetricRegistry, NoopProbe, Probe};
+pub use metrics::{
+    AttrClass, AttributionProbe, Histogram, HistogramSummary, MetricRegistry, NoopProbe, Probe,
+};
 pub use report::{compare, Regression, ReportError, RunReport, SpanEntry};
 pub use span::{global_recorder, span, Recorder, SpanGuard};

@@ -89,6 +89,40 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated value at quantile `q` (clamped to `0..=1`), or 0 if the
+    /// histogram is empty.
+    ///
+    /// The histogram stores only power-of-two buckets, so the estimate
+    /// interpolates linearly inside the bucket holding the `q`-th sample
+    /// and is clamped to the observed maximum. Exact for bucket 0 (the
+    /// value 0) and for the largest sample (`q = 1`).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = Self::bucket_low(i);
+                let width = lo; // bucket i spans [lo, 2*lo)
+                let within = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + within * width as f64;
+                return (est as u64).clamp(lo, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Condenses the histogram into the summary used by run reports.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
@@ -96,6 +130,9 @@ impl Histogram {
             count: self.count,
             sum: self.sum,
             max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             buckets: self.nonzero_buckets(),
         }
     }
@@ -110,6 +147,12 @@ pub struct HistogramSummary {
     pub sum: u64,
     /// Largest sample.
     pub max: u64,
+    /// Estimated median sample (see [`Histogram::quantile`]).
+    pub p50: u64,
+    /// Estimated 95th-percentile sample.
+    pub p95: u64,
+    /// Estimated 99th-percentile sample.
+    pub p99: u64,
     /// Occupied `(bucket_low, count)` pairs.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -129,12 +172,82 @@ pub trait Probe {
     fn histogram_record(&self, _name: &str, _value: u64) {}
 }
 
+/// Why a miss happened, in the classical three-way decomposition used by
+/// the attribution engine: the line was never referenced before
+/// (compulsory), a fully-associative cache of the same capacity would
+/// also have missed (capacity), or only the set mapping caused the miss
+/// (conflict — the component code layout can fix).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum AttrClass {
+    /// First-ever reference to the line.
+    Compulsory,
+    /// The line had fallen out of an LRU stack of the cache's capacity.
+    Capacity,
+    /// The line was still LRU-stack resident; only set mapping evicted it.
+    Conflict,
+}
+
+impl AttrClass {
+    /// All classes, in reporting order.
+    pub const ALL: [AttrClass; 3] = [
+        AttrClass::Compulsory,
+        AttrClass::Capacity,
+        AttrClass::Conflict,
+    ];
+
+    /// Dense index (`0..3`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            AttrClass::Compulsory => 0,
+            AttrClass::Capacity => 1,
+            AttrClass::Conflict => 2,
+        }
+    }
+
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AttrClass::Compulsory => "compulsory",
+            AttrClass::Capacity => "capacity",
+            AttrClass::Conflict => "conflict",
+        }
+    }
+
+    /// Metric name in the `cache.attr.*` namespace.
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            AttrClass::Compulsory => "cache.attr.compulsory",
+            AttrClass::Capacity => "cache.attr.capacity",
+            AttrClass::Conflict => "cache.attr.conflict",
+        }
+    }
+}
+
+/// Extension of [`Probe`] for fully-attributed miss events.
+///
+/// The attribution engine in the cache crate calls
+/// [`AttributionProbe::miss_attributed`] once per miss — never on hits —
+/// so, like the base trait, the extension is strictly zero-cost when no
+/// probe is attached. The default implementation drops the event, so any
+/// [`Probe`] can opt in without implementing it.
+pub trait AttributionProbe: Probe {
+    /// Reports one classified miss: which cache set it landed in, its
+    /// [`AttrClass`], and whether the evicting line was identified (the
+    /// evictor is only known for refetches of previously evicted lines).
+    fn miss_attributed(&self, _set: u32, _class: AttrClass, _evictor_known: bool) {}
+}
+
 /// A probe that drops everything — for overhead measurements and as an
 /// explicit "observability off" value.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct NoopProbe;
 
 impl Probe for NoopProbe {}
+
+impl AttributionProbe for NoopProbe {}
 
 #[derive(Debug, Default)]
 struct RegistryInner {
@@ -245,6 +358,27 @@ impl Probe for MetricRegistry {
     }
 }
 
+impl AttributionProbe for MetricRegistry {
+    fn miss_attributed(&self, set: u32, class: AttrClass, evictor_known: bool) {
+        let mut inner = self.lock();
+        *inner
+            .counters
+            .entry(class.metric_name().to_owned())
+            .or_insert(0) += 1;
+        if evictor_known {
+            *inner
+                .counters
+                .entry("cache.attr.evictor_known".to_owned())
+                .or_insert(0) += 1;
+        }
+        inner
+            .histograms
+            .entry("cache.attr.set".to_owned())
+            .or_default()
+            .record(u64::from(set));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +448,73 @@ mod tests {
         p.counter_add("x", 1);
         p.gauge_set("y", 2.0);
         p.histogram_record("z", 3);
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_the_edges() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.99), 0, "bucket 0 is exact");
+        h.record(1000);
+        assert_eq!(h.quantile(1.0), 1000, "max is exact");
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_bounded() {
+        let mut h = Histogram::default();
+        for v in [1, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+        // The median of ten samples is the 5th (value 8, bucket [8, 16)).
+        let p50 = h.quantile(0.5);
+        assert!((8..16).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 89);
+    }
+
+    #[test]
+    fn summary_carries_percentiles() {
+        let mut h = Histogram::default();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50, h.quantile(0.50));
+        assert_eq!(s.p95, h.quantile(0.95));
+        assert_eq!(s.p99, h.quantile(0.99));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn registry_collects_attributed_misses() {
+        let reg = MetricRegistry::new();
+        reg.miss_attributed(3, AttrClass::Conflict, true);
+        reg.miss_attributed(3, AttrClass::Conflict, false);
+        reg.miss_attributed(7, AttrClass::Compulsory, false);
+        assert_eq!(reg.counter("cache.attr.conflict"), 2);
+        assert_eq!(reg.counter("cache.attr.compulsory"), 1);
+        assert_eq!(reg.counter("cache.attr.capacity"), 0);
+        assert_eq!(reg.counter("cache.attr.evictor_known"), 1);
+        let sets = reg.histogram("cache.attr.set").unwrap();
+        assert_eq!(sets.count(), 3);
+        assert_eq!(sets.max(), 7);
+    }
+
+    #[test]
+    fn attr_class_indices_are_dense() {
+        for (i, class) in AttrClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert!(class.metric_name().ends_with(class.label()));
+        }
     }
 
     #[test]

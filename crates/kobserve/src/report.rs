@@ -188,6 +188,9 @@ impl RunReport {
                                     ("count".to_owned(), JsonValue::Num(h.count as f64)),
                                     ("sum".to_owned(), JsonValue::Num(h.sum as f64)),
                                     ("max".to_owned(), JsonValue::Num(h.max as f64)),
+                                    ("p50".to_owned(), JsonValue::Num(h.p50 as f64)),
+                                    ("p95".to_owned(), JsonValue::Num(h.p95 as f64)),
+                                    ("p99".to_owned(), JsonValue::Num(h.p99 as f64)),
                                     (
                                         "buckets".to_owned(),
                                         JsonValue::Array(
@@ -296,6 +299,11 @@ impl RunReport {
                     .get("max")
                     .and_then(JsonValue::as_u64)
                     .ok_or_else(|| bad("histogram without max"))?,
+                // Percentiles were added after the first reports were
+                // written; default to 0 so old files still parse.
+                p50: val.get("p50").and_then(JsonValue::as_u64).unwrap_or(0),
+                p95: val.get("p95").and_then(JsonValue::as_u64).unwrap_or(0),
+                p99: val.get("p99").and_then(JsonValue::as_u64).unwrap_or(0),
                 buckets: Vec::new(),
             };
             for pair in val

@@ -18,6 +18,10 @@ pub enum TraceEvent {
         /// Which program the block belongs to.
         domain: Domain,
     },
+    /// A diagnostic phase marker. Carries no execution semantics; the
+    /// attribution engine (`oslay-cache`) uses it to segment conflict
+    /// counts into workload epochs, and every other consumer ignores it.
+    Mark(u32),
 }
 
 /// A complete block-level trace plus summary counters.
@@ -41,7 +45,7 @@ impl Trace {
                 Domain::Os => self.os_blocks += 1,
                 Domain::App => self.app_blocks += 1,
             },
-            TraceEvent::OsExit => {}
+            TraceEvent::OsExit | TraceEvent::Mark(_) => {}
         }
         self.events.push(event);
     }
@@ -128,6 +132,7 @@ impl Trace {
                         }
                     }
                 }
+                TraceEvent::Mark(_) => {}
             }
         }
         out

@@ -1,0 +1,6 @@
+//! Root-package forwarder so `cargo run --release --bin diag` works from
+//! the repository root (the implementation lives in `oslay-bench`).
+
+fn main() {
+    oslay_bench::diag::run();
+}
