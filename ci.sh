@@ -29,4 +29,25 @@ tmpdir="$(mktemp -d)"
 rm -rf "$tmpdir"
 cargo run --release -q -p oslay-bench --bin diag -- --check-results
 
+echo "== bench_sim smoke + schema check =="
+tmpdir="$(mktemp -d)"
+cargo run --release -q -p oslay-bench --bin bench_sim -- \
+  --smoke --out "$tmpdir/BENCH_sim.json" > /dev/null
+
+echo "== thread-count determinism (1 vs 2 workers, tiny digest) =="
+repo_root="$PWD"
+for t in 1 2; do
+  mkdir -p "$tmpdir/t$t/results"
+  (
+    cd "$tmpdir/t$t"
+    cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+      -p oslay-bench --bin all_experiments -- \
+      --scale tiny --threads "$t" > stdout.txt
+  )
+done
+diff "$tmpdir/t1/stdout.txt" "$tmpdir/t2/stdout.txt"
+diff <(grep -v '"secs"' "$tmpdir/t1/results/all_experiments.json") \
+     <(grep -v '"secs"' "$tmpdir/t2/results/all_experiments.json")
+rm -rf "$tmpdir"
+
 echo "CI OK"

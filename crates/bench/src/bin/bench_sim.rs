@@ -1,0 +1,215 @@
+//! Simulation-engine throughput harness: events/sec and a peak-RSS proxy
+//! for Base vs OptS replay, written to `BENCH_sim.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p oslay-bench --bin bench_sim -- --scale small --threads 8
+//! cargo run --release -p oslay-bench --bin bench_sim -- --smoke --out /tmp/BENCH_sim.json
+//! ```
+//!
+//! Measured cases:
+//! - `replay_base` / `replay_opt_s`: buffered (`Vec`) replay of the Shell
+//!   workload through the plain cache.
+//! - `stream_base` / `stream_opt_s`: streaming replay — the trace engine
+//!   feeds the replayer directly, no event vector.
+//! - `attr_base`: attributed replay (shadow-store path).
+//! - `matrix_1t` / `matrix_nt`: the Figure-12 style 4-case × 5-level
+//!   simulation matrix at 1 vs `--threads` workers; their ratio is the
+//!   `parallel_speedup` derived field.
+//!
+//! The counting allocator is installed process-wide, so `allocs` /
+//! `peak_bytes` columns are real measurements, not estimates.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oslay::cache::{Cache, CacheConfig};
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+use oslay_bench::{run_figure12_matrix, scale_name};
+use oslay_observe::MetricRegistry;
+use oslay_perf::alloc::{self, CountingAlloc};
+use oslay_perf::simbench::{validate, BenchCase, BenchReport};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Args {
+    config: StudyConfig,
+    threads: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        config: StudyConfig::small(),
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        out: std::path::PathBuf::from("BENCH_sim.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                out.config = match v.as_str() {
+                    "tiny" => StudyConfig::tiny(),
+                    "small" => StudyConfig::small(),
+                    "paper" => StudyConfig::paper(),
+                    other => panic!("unknown scale {other:?} (tiny|small|paper)"),
+                };
+            }
+            "--blocks" => {
+                let v = args.next().expect("--blocks needs a value");
+                out.config.os_blocks = v.parse().expect("--blocks must be an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                out.config.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                out.threads = v.parse().expect("--threads must be an integer");
+                assert!(out.threads >= 1, "--threads must be >= 1");
+            }
+            "--out" => out.out = args.next().expect("--out needs a path").into(),
+            "--smoke" => {
+                // CI smoke: a trace of ~1k OS blocks, single worker.
+                out.config = StudyConfig::tiny();
+                out.config.os_blocks = 1_000;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    out
+}
+
+/// Times `f`, bracketing it with allocator snapshots, and returns the
+/// finished case. `events` comes from the closure's return value.
+fn measure(name: &str, f: impl FnOnce() -> u64) -> BenchCase {
+    alloc::reset_peak();
+    let before = alloc::snapshot();
+    let start = Instant::now();
+    let events = f();
+    let secs = start.elapsed().as_secs_f64();
+    let delta = alloc::snapshot().delta_from(&before);
+    let case = BenchCase {
+        name: name.to_owned(),
+        events,
+        secs,
+        allocs: delta.calls,
+        alloc_bytes: delta.bytes,
+        peak_bytes: delta.peak_bytes,
+    };
+    println!(
+        "{:<16} {:>12} events {:>9.3}s {:>14.0} ev/s {:>10} allocs {:>12} B peak",
+        case.name,
+        case.events,
+        case.secs,
+        case.events_per_sec(),
+        case.allocs,
+        case.peak_bytes
+    );
+    case
+}
+
+/// The Figure-12 style matrix: every workload × every ladder level, on a
+/// shared registry, at the given worker count. Returns total accesses.
+fn run_matrix(study: &Study, sim: &SimConfig, threads: usize) -> u64 {
+    let cfg = CacheConfig::paper_default();
+    let registry = Arc::new(MetricRegistry::new());
+    let matrix = run_figure12_matrix(study, cfg, sim, threads, &registry);
+    matrix
+        .iter()
+        .flatten()
+        .map(|r| r.stats.total_accesses())
+        .sum()
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "== bench_sim: engine throughput ({}, {} OS blocks, {} threads) ==",
+        scale_name(args.config.scale),
+        args.config.os_blocks,
+        args.threads
+    );
+
+    let study = Study::generate_with_threads(&args.config, args.threads);
+    let shell = &study.cases()[3];
+    let cfg = CacheConfig::paper_default();
+    let sim = SimConfig::fast();
+    let os_base = study.os_layout(OsLayoutKind::Base, cfg.size());
+    let os_opt = study.os_layout(OsLayoutKind::OptS, cfg.size());
+    let app = study.app_base_layout(shell);
+
+    let mut report = BenchReport::new(scale_name(args.config.scale), args.threads);
+
+    // Buffered replay: the pre-existing Vec path, kept as the shim.
+    for (name, os) in [("replay_base", &os_base), ("replay_opt_s", &os_opt)] {
+        report.push_case(measure(name, || {
+            let mut cache = Cache::new(cfg);
+            let r = study.simulate(shell, &os.layout, app.as_ref(), &mut cache, &sim);
+            r.stats.total_accesses()
+        }));
+    }
+
+    // Streaming replay: regenerate the trace straight into the replayer —
+    // no event vector is ever materialized.
+    for (name, os) in [("stream_base", &os_base), ("stream_opt_s", &os_opt)] {
+        report.push_case(measure(name, || {
+            let mut cache = Cache::new(cfg);
+            let r = study.replay_streaming(shell, &os.layout, app.as_ref(), &mut cache, &sim);
+            r.stats.total_accesses()
+        }));
+    }
+
+    // Attributed replay: exercises the shadow-store (conflict/capacity) path.
+    report.push_case(measure("attr_base", || {
+        let (r, _) = oslay_bench::run_attributed_on(
+            &study,
+            shell,
+            &os_base,
+            app.as_ref(),
+            cfg,
+            &SimConfig::fast(),
+            None,
+        );
+        r.stats.total_accesses()
+    }));
+
+    // The sharded experiment matrix at one worker vs the requested count.
+    let one = measure("matrix_1t", || run_matrix(&study, &sim, 1));
+    let many = measure(&format!("matrix_{}t", args.threads), || {
+        run_matrix(&study, &sim, args.threads)
+    });
+    let speedup = if many.secs > 0.0 {
+        one.secs / many.secs
+    } else {
+        0.0
+    };
+    report.push_case(one);
+    report.push_case(many);
+    report.push_derived("parallel_speedup", speedup);
+    report.push_derived(
+        "stream_vs_replay_base",
+        report.events_per_sec("stream_base").unwrap_or(0.0)
+            / report
+                .events_per_sec("replay_base")
+                .unwrap_or(f64::INFINITY),
+    );
+
+    for case in &report.cases {
+        assert!(
+            case.events_per_sec() > 0.0,
+            "case {} measured zero throughput",
+            case.name
+        );
+    }
+    report.write(&args.out).expect("write bench report");
+    let text = std::fs::read_to_string(&args.out).expect("re-read bench report");
+    validate(&text).expect("bench report validates against schema");
+    println!();
+    println!(
+        "parallel speedup at {} thread(s): {:.2}x",
+        args.threads, speedup
+    );
+    println!("Bench report: {}", args.out.display());
+}

@@ -11,18 +11,20 @@ use oslay::cache::CacheConfig;
 use oslay::cache::MissKind;
 use oslay::model::Domain;
 use oslay::{SimConfig, Study};
-use oslay_bench::{banner, config_from_args, figure12_ladder, run_case_probed, Reporter};
+use oslay_bench::{banner, figure12_ladder, run_args, run_figure12_matrix, Reporter};
 
 fn main() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner(
         "Figure 12: miss breakdown by optimization level (8KB direct-mapped, 32B lines)",
         &config,
     );
     let mut reporter = Reporter::new("fig12_optimization_levels");
     let registry = reporter.registry();
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
     let cache = CacheConfig::paper_default();
+    let matrix = run_figure12_matrix(&study, cache, &SimConfig::fast(), args.threads, &registry);
 
     // Left chart: reference breakdown.
     println!("References (fraction OS vs App):");
@@ -39,7 +41,7 @@ fn main() {
     println!();
 
     // Right chart: misses per layout, normalized to Base, decomposed.
-    for case in study.cases() {
+    for (case, row) in study.cases().iter().zip(&matrix) {
         println!("{}:", case.name());
         println!(
             "  {:<6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6}",
@@ -47,16 +49,7 @@ fn main() {
         );
         let mut base_misses = None;
         let mut level_rates = Vec::new();
-        for (name, os_kind, app_side) in figure12_ladder() {
-            let r = run_case_probed(
-                &study,
-                case,
-                os_kind,
-                app_side,
-                cache,
-                &SimConfig::fast(),
-                &registry,
-            );
+        for ((name, _, _), r) in figure12_ladder().into_iter().zip(row) {
             let total = r.stats.total_misses();
             let base = *base_misses.get_or_insert(total);
             println!(

@@ -18,12 +18,13 @@ use oslay::analysis::report::{pct, TextTable};
 use oslay::cache::CacheConfig;
 use oslay::layout::{optimize_os, OptParams};
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args, run_case_attributed, AppSide, Reporter};
+use oslay_bench::{banner, run_args, run_attributed_matrix, Reporter};
 
 fn main() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner("Figure 13: references and misses by block class", &config);
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
     let program = &study.kernel().program;
     let mut reporter = Reporter::new("fig13_block_classes");
     let registry = reporter.registry();
@@ -36,7 +37,21 @@ fn main() {
         &OptParams::opt_l(8192),
     );
 
-    for case in study.cases() {
+    let kinds = [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+        OsLayoutKind::OptL,
+    ];
+    let matrix = run_attributed_matrix(
+        &study,
+        &kinds,
+        CacheConfig::paper_default(),
+        &SimConfig::full(),
+        args.threads,
+        &registry,
+    );
+    for (case, row) in study.cases().iter().zip(&matrix) {
         println!("{}:", case.name());
         let mut table = TextTable::new([
             "layout",
@@ -49,21 +64,7 @@ fn main() {
             "Loop miss",
             "OtherSeq miss",
         ]);
-        for kind in [
-            OsLayoutKind::Base,
-            OsLayoutKind::ChangHwu,
-            OsLayoutKind::OptS,
-            OsLayoutKind::OptL,
-        ] {
-            let (r, attr) = run_case_attributed(
-                &study,
-                case,
-                kind,
-                AppSide::Base,
-                CacheConfig::paper_default(),
-                &SimConfig::full(),
-                Some(&registry),
-            );
+        for (&kind, (r, attr)) in kinds.iter().zip(row) {
             let bd = class_breakdown(
                 program,
                 &case.os_profile,

@@ -19,40 +19,42 @@ use oslay::analysis::report::{bar_chart, pct};
 use oslay::cache::CacheConfig;
 use oslay::model::BlockId;
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args, run_case_attributed, AppSide, Reporter};
+use oslay_bench::{banner, run_args, run_attributed_matrix, Reporter};
 use oslay_observe::AttrClass;
 
 fn main() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner(
         "Figure 14: OS miss distribution under Base, C-H, OptS",
         &config,
     );
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
     let base = study.os_layout(OsLayoutKind::Base, 8192);
     let mut reporter = Reporter::new("fig14_miss_distribution");
     let registry = reporter.registry();
 
-    for kind in [
+    let kinds = [
         OsLayoutKind::Base,
         OsLayoutKind::ChangHwu,
         OsLayoutKind::OptS,
-    ] {
+    ];
+    let matrix = run_attributed_matrix(
+        &study,
+        &kinds,
+        CacheConfig::paper_default(),
+        &SimConfig::full(),
+        args.threads,
+        &registry,
+    );
+    for (ki, &kind) in kinds.iter().enumerate() {
         let mut map = AddressHistogram::paper();
         let mut total_misses = 0u64;
         let mut class_misses = [0u64; 3];
         let mut set_misses: Option<Vec<u64>> = None;
         let mut matrix_total = 0u64;
-        for case in study.cases() {
-            let (r, attr) = run_case_attributed(
-                &study,
-                case,
-                kind,
-                AppSide::Base,
-                CacheConfig::paper_default(),
-                &SimConfig::full(),
-                Some(&registry),
-            );
+        for (ci, _case) in study.cases().iter().enumerate() {
+            let (r, attr) = &matrix[ci][ki];
             let misses = r.os_block_misses.as_ref().unwrap();
             for (i, &m) in misses.iter().enumerate() {
                 if m > 0 {

@@ -39,6 +39,7 @@ fn parse_kind(token: &str) -> OsLayoutKind {
 
 struct Args {
     config: StudyConfig,
+    threads: usize,
     compare: Option<(OsLayoutKind, OsLayoutKind, String, String)>,
     case: String,
     check_results: bool,
@@ -47,6 +48,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut out = Args {
         config: StudyConfig::paper(),
+        threads: oslay::exec::default_threads(),
         compare: None,
         case: "Shell".to_owned(),
         check_results: false,
@@ -70,6 +72,10 @@ fn parse_args() -> Args {
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 out.config.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                out.threads = v.parse().expect("--threads must be an integer");
             }
             "--compare" => {
                 let a = args.next().expect("--compare needs two layout names");
@@ -191,7 +197,7 @@ fn compare_layouts(args: &Args) {
         &format!("diag: {} vs {} conflict diagnosis", tok_a, tok_b),
         &args.config,
     );
-    let study = Study::generate(&args.config);
+    let study = Study::generate_with_threads(&args.config, args.threads);
     let case = study
         .cases()
         .iter()

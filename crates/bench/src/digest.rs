@@ -18,8 +18,7 @@ use oslay::perf::ExecTimeModel;
 use oslay::{OsLayoutKind, SimConfig, Study};
 
 use crate::{
-    banner, config_from_args, figure12_ladder, run_case_attributed, run_case_probed, AppSide,
-    Reporter,
+    banner, figure12_ladder, run_args, run_case_attributed, run_figure12_matrix, AppSide, Reporter,
 };
 use oslay_observe::AttrClass;
 
@@ -27,11 +26,12 @@ use oslay_observe::AttrClass;
 /// headline number, prints the tables, and writes
 /// `results/all_experiments.json`.
 pub fn run() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner("All experiments: one-page digest", &config);
     let mut reporter = Reporter::new("all_experiments");
     let registry = reporter.registry();
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
     let program = &study.kernel().program;
     let cfg = CacheConfig::paper_default();
 
@@ -108,12 +108,12 @@ pub fn run() {
     let mut table = TextTable::new(["Workload", "C-H", "OptS", "OptL", "OptA"]);
     let mut opts_rates = Vec::new();
     let mut base_rates = Vec::new();
-    for case in study.cases() {
+    let matrix = run_figure12_matrix(&study, cfg, &SimConfig::fast(), args.threads, &registry);
+    for (case, row) in study.cases().iter().zip(&matrix) {
         let mut cells = vec![case.name().to_owned()];
         let mut base = None;
         let mut level_rates = Vec::new();
-        for (name, kind, side) in figure12_ladder() {
-            let r = run_case_probed(&study, case, kind, side, cfg, &SimConfig::fast(), &registry);
+        for ((name, _, _), r) in figure12_ladder().into_iter().zip(row) {
             let total = r.stats.total_misses();
             let b = *base.get_or_insert(total);
             if name != "Base" {

@@ -21,25 +21,41 @@ use std::sync::Arc;
 use oslay::cache::{
     AddressMap, AttributedCache, AttributionReport, Cache, CacheConfig, InstructionCache,
 };
-use oslay::{OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, WorkloadCase};
+use oslay::{OsLayout, OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, WorkloadCase};
 use oslay_layout::Layout;
 use oslay_model::synth::Scale;
 use oslay_model::Domain;
 use oslay_observe::{global_recorder, AttributionProbe, MetricRegistry, Probe, RunReport};
 
-/// Parses the common experiment arguments into a [`StudyConfig`].
+/// The common experiment arguments: study configuration plus the worker
+/// count for sharded execution.
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// The study configuration (`--scale`, `--blocks`, `--seed`).
+    pub config: StudyConfig,
+    /// Worker threads for independent simulation jobs (`--threads`,
+    /// default: available parallelism). Output is byte-identical at any
+    /// value; see `oslay::exec::parallel_map`.
+    pub threads: usize,
+}
+
+/// Parses the common experiment arguments (`--scale tiny|small|paper`,
+/// `--blocks N`, `--seed N`, `--threads N`).
 ///
 /// Defaults to `--scale paper`; integration environments pass
 /// `--scale small` for speed.
 #[must_use]
-pub fn config_from_args() -> StudyConfig {
-    let mut config = StudyConfig::paper();
+pub fn run_args() -> RunArgs {
+    let mut out = RunArgs {
+        config: StudyConfig::paper(),
+        threads: oslay::exec::default_threads(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
-                config = match v.as_str() {
+                out.config = match v.as_str() {
                     "tiny" => StudyConfig::tiny(),
                     "small" => StudyConfig::small(),
                     "paper" => StudyConfig::paper(),
@@ -48,16 +64,30 @@ pub fn config_from_args() -> StudyConfig {
             }
             "--blocks" => {
                 let v = args.next().expect("--blocks needs a value");
-                config.os_blocks = v.parse().expect("--blocks must be an integer");
+                out.config.os_blocks = v.parse().expect("--blocks must be an integer");
             }
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
-                config.seed = v.parse().expect("--seed must be an integer");
+                out.config.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                out.threads = v.parse().expect("--threads must be an integer");
+                assert!(out.threads >= 1, "--threads must be >= 1");
             }
             other => panic!("unknown argument {other:?}"),
         }
     }
-    config
+    out
+}
+
+/// Parses the common experiment arguments into a [`StudyConfig`].
+///
+/// Compatibility wrapper over [`run_args`] (tolerates and ignores
+/// `--threads`).
+#[must_use]
+pub fn config_from_args() -> StudyConfig {
+    run_args().config
 }
 
 /// Prints the standard experiment banner.
@@ -91,6 +121,22 @@ pub enum AppSide {
     ChangHwu,
 }
 
+/// Builds the application layout a ladder level pairs with a case (`None`
+/// for app-free workloads like Shell).
+#[must_use]
+pub fn app_layout_for(
+    study: &Study,
+    case: &WorkloadCase,
+    app_side: AppSide,
+    cache_size: u32,
+) -> Option<Layout> {
+    match app_side {
+        AppSide::Base => study.app_base_layout(case),
+        AppSide::Optimized => study.app_opt_layout(case, cache_size),
+        AppSide::ChangHwu => study.app_ch_layout(case),
+    }
+}
+
 /// Evaluates one workload under one OS layout kind on a unified cache.
 #[must_use]
 pub fn run_case(
@@ -102,13 +148,34 @@ pub fn run_case(
     sim: &SimConfig,
 ) -> SimResult {
     let os = study.os_layout(os_kind, cache_cfg.size());
-    let app = match app_side {
-        AppSide::Base => study.app_base_layout(case),
-        AppSide::Optimized => study.app_opt_layout(case, cache_cfg.size()),
-        AppSide::ChangHwu => study.app_ch_layout(case),
-    };
+    let app = app_layout_for(study, case, app_side, cache_cfg.size());
     let mut cache = Cache::new(cache_cfg);
     study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim)
+}
+
+/// Like [`run_case`], but with precomputed layouts: routes the cache's
+/// miss/eviction events into `registry` and records a final set-occupancy
+/// snapshot, so the run report carries `cache.*` metrics alongside the
+/// aggregate statistics.
+///
+/// Sharded drivers call this directly with memoized layouts (building an
+/// OS layout is far more expensive than replaying a tiny trace through
+/// it) and a per-job registry.
+#[must_use]
+pub fn run_probed_on(
+    study: &Study,
+    case: &WorkloadCase,
+    os_layout: &Layout,
+    app_layout: Option<&Layout>,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    registry: &Arc<MetricRegistry>,
+) -> SimResult {
+    let probe: Arc<dyn Probe + Send + Sync> = Arc::clone(registry) as _;
+    let mut cache = Cache::with_probe(cache_cfg, probe);
+    let result = study.simulate(case, os_layout, app_layout, &mut cache, sim);
+    cache.record_occupancy();
+    result
 }
 
 /// Like [`run_case`], but routes the cache's miss/eviction events into
@@ -125,16 +192,16 @@ pub fn run_case_probed(
     registry: &Arc<MetricRegistry>,
 ) -> SimResult {
     let os = study.os_layout(os_kind, cache_cfg.size());
-    let app = match app_side {
-        AppSide::Base => study.app_base_layout(case),
-        AppSide::Optimized => study.app_opt_layout(case, cache_cfg.size()),
-        AppSide::ChangHwu => study.app_ch_layout(case),
-    };
-    let probe: Arc<dyn Probe + Send + Sync> = Arc::clone(registry) as _;
-    let mut cache = Cache::with_probe(cache_cfg, probe);
-    let result = study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim);
-    cache.record_occupancy();
-    result
+    let app = app_layout_for(study, case, app_side, cache_cfg.size());
+    run_probed_on(
+        study,
+        case,
+        &os.layout,
+        app.as_ref(),
+        cache_cfg,
+        sim,
+        registry,
+    )
 }
 
 /// Like [`run_case`], but through the attribution engine: every miss is
@@ -156,18 +223,30 @@ pub fn run_case_attributed(
     registry: Option<&Arc<MetricRegistry>>,
 ) -> (SimResult, AttributionReport) {
     let os = study.os_layout(os_kind, cache_cfg.size());
-    let app = match app_side {
-        AppSide::Base => study.app_base_layout(case),
-        AppSide::Optimized => study.app_opt_layout(case, cache_cfg.size()),
-        AppSide::ChangHwu => study.app_ch_layout(case),
-    };
+    let app = app_layout_for(study, case, app_side, cache_cfg.size());
+    run_attributed_on(study, case, &os, app.as_ref(), cache_cfg, sim, registry)
+}
+
+/// Like [`run_case_attributed`], but with precomputed layouts (the
+/// sharded drivers memoize each [`OsLayout`] once and fan the replay jobs
+/// out over it).
+#[must_use]
+pub fn run_attributed_on(
+    study: &Study,
+    case: &WorkloadCase,
+    os: &OsLayout,
+    app: Option<&Layout>,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    registry: Option<&Arc<MetricRegistry>>,
+) -> (SimResult, AttributionReport) {
     let mut spans = oslay_layout::layout_spans(
         &study.kernel().program,
         &os.layout,
         Domain::Os,
         os.classes.as_deref(),
     );
-    if let (Some(app_layout), Some(app_program)) = (app.as_ref(), case.app.as_ref()) {
+    if let (Some(app_layout), Some(app_program)) = (app, case.app.as_ref()) {
         // App and OS address spaces are disjoint, so one map holds both.
         spans.extend(oslay_layout::layout_spans(
             app_program,
@@ -184,8 +263,131 @@ pub fn run_case_attributed(
         }
         None => AttributedCache::new(Cache::new(cache_cfg), map),
     };
-    let result = study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim);
+    let result = study.simulate(case, &os.layout, app, &mut cache, sim);
     (result, cache.report())
+}
+
+/// Runs the whole Figure-12 matrix — every workload × every ladder level
+/// — over up to `threads` workers, returning `results[case][level]`.
+///
+/// The OS layout of each distinct kind is built once, on the caller's
+/// thread, and shared read-only by the replay jobs (building a layout
+/// costs far more than replaying a small trace through it). Each job
+/// records its cache events into a private registry; the shards are
+/// folded into `registry` in job-index order — counters and histograms
+/// merge commutatively and gauges overwrite in the fixed order — so the
+/// final registry state is identical at any worker count, and equal to a
+/// sequential run's.
+#[must_use]
+pub fn run_figure12_matrix(
+    study: &Study,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    threads: usize,
+    registry: &Arc<MetricRegistry>,
+) -> Vec<Vec<SimResult>> {
+    let ladder = figure12_ladder();
+    let mut kinds: Vec<OsLayoutKind> = Vec::new();
+    for &(_, kind, _) in &ladder {
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    let layouts: Vec<(OsLayoutKind, OsLayout)> = kinds
+        .into_iter()
+        .map(|kind| (kind, study.os_layout(kind, cache_cfg.size())))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..study.cases().len())
+        .flat_map(|c| (0..ladder.len()).map(move |l| (c, l)))
+        .collect();
+    let sharded = oslay::exec::parallel_map(threads, jobs, |_, (c, l)| {
+        let case = &study.cases()[c];
+        let (_, kind, side) = ladder[l];
+        let os = &layouts
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .expect("every ladder kind is memoized")
+            .1;
+        let app = app_layout_for(study, case, side, cache_cfg.size());
+        let shard = Arc::new(MetricRegistry::new());
+        let r = run_probed_on(
+            study,
+            case,
+            &os.layout,
+            app.as_ref(),
+            cache_cfg,
+            sim,
+            &shard,
+        );
+        (r, shard)
+    });
+    let mut results: Vec<Vec<SimResult>> = Vec::with_capacity(study.cases().len());
+    let mut sharded = sharded.into_iter();
+    for _ in 0..study.cases().len() {
+        let mut row = Vec::with_capacity(figure12_ladder().len());
+        for _ in 0..figure12_ladder().len() {
+            let (r, shard) = sharded.next().expect("one result per job");
+            registry.merge_from(&shard);
+            row.push(r);
+        }
+        results.push(row);
+    }
+    results
+}
+
+/// Runs every workload under every OS layout kind in `kinds` through the
+/// attribution engine, over up to `threads` workers, returning
+/// `results[case][kind]` (the application always keeps its Base layout,
+/// as in Figures 13 and 14).
+///
+/// Same sharding contract as [`run_figure12_matrix`]: one memoized OS
+/// layout per kind, one private registry per job, shards folded into
+/// `registry` in job-index order so output is identical at any worker
+/// count.
+#[must_use]
+pub fn run_attributed_matrix(
+    study: &Study,
+    kinds: &[OsLayoutKind],
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    threads: usize,
+    registry: &Arc<MetricRegistry>,
+) -> Vec<Vec<(SimResult, AttributionReport)>> {
+    let layouts: Vec<OsLayout> = kinds
+        .iter()
+        .map(|&kind| study.os_layout(kind, cache_cfg.size()))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..study.cases().len())
+        .flat_map(|c| (0..kinds.len()).map(move |k| (c, k)))
+        .collect();
+    let sharded = oslay::exec::parallel_map(threads, jobs, |_, (c, k)| {
+        let case = &study.cases()[c];
+        let app = app_layout_for(study, case, AppSide::Base, cache_cfg.size());
+        let shard = Arc::new(MetricRegistry::new());
+        let r = run_attributed_on(
+            study,
+            case,
+            &layouts[k],
+            app.as_ref(),
+            cache_cfg,
+            sim,
+            Some(&shard),
+        );
+        (r, shard)
+    });
+    let mut results: Vec<Vec<(SimResult, AttributionReport)>> =
+        Vec::with_capacity(study.cases().len());
+    let mut sharded = sharded.into_iter();
+    for _ in 0..study.cases().len() {
+        let mut row = Vec::with_capacity(kinds.len());
+        for _ in 0..kinds.len() {
+            let (r, shard) = sharded.next().expect("one result per job");
+            registry.merge_from(&shard);
+            row.push(r);
+        }
+        results.push(row);
+    }
+    results
 }
 
 /// JSON run-report plumbing shared by the experiment binaries.

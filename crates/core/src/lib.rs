@@ -42,10 +42,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod exec;
 mod sim;
 mod study;
 
-pub use sim::{SimConfig, SimResult};
+pub use sim::{Replayer, SimConfig, SimResult};
 pub use study::{OsLayout, OsLayoutKind, Study, StudyConfig, WorkloadCase};
 
 pub use oslay_analysis as analysis;

@@ -64,7 +64,187 @@ impl SimResult {
     }
 }
 
+/// A streaming trace consumer that drives a cache: each [`TraceEvent`]
+/// maps through the layouts to an instruction-fetch address stream and the
+/// configured miss collectors.
+///
+/// This is the engine's hot path. [`Study::simulate`] feeds it from a
+/// buffered [`oslay_trace::Trace`] (the compatibility shim);
+/// [`Study::replay_streaming`] feeds it straight from the trace engine via
+/// [`oslay_trace::TraceSink`], so paper-scale workloads never materialize
+/// the event vector.
+pub struct Replayer<'a, C: InstructionCache + ?Sized = dyn InstructionCache> {
+    os_layout: &'a Layout,
+    app_layout: Option<&'a Layout>,
+    cache: &'a mut C,
+    os_miss_map: Option<AddressHistogram>,
+    os_self_miss_map: Option<AddressHistogram>,
+    os_cross_miss_map: Option<AddressHistogram>,
+    os_block_misses: Option<Vec<u64>>,
+    app_block_misses: Option<Vec<u64>>,
+    /// Per-word replay is only needed when address-granular miss maps are
+    /// collected; otherwise block fetches take the coalesced line-run
+    /// path.
+    per_address: bool,
+}
+
+impl<C: InstructionCache + ?Sized> std::fmt::Debug for Replayer<'_, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replayer")
+            .field("os_layout", &self.os_layout.name())
+            .field("has_app_layout", &self.app_layout.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, C: InstructionCache + ?Sized> Replayer<'a, C> {
+    /// Creates a replayer. `os_blocks`/`app_blocks` size the per-block
+    /// miss vectors when `config.block_misses` is set.
+    #[must_use]
+    pub fn new(
+        os_layout: &'a Layout,
+        app_layout: Option<&'a Layout>,
+        cache: &'a mut C,
+        config: &SimConfig,
+        os_blocks: usize,
+        app_blocks: usize,
+    ) -> Self {
+        Self {
+            os_layout,
+            app_layout,
+            cache,
+            os_miss_map: config.os_miss_map.then(AddressHistogram::paper),
+            os_self_miss_map: config.os_miss_map.then(AddressHistogram::paper),
+            os_cross_miss_map: config.os_miss_map.then(AddressHistogram::paper),
+            os_block_misses: config.block_misses.then(|| vec![0u64; os_blocks]),
+            app_block_misses: config.block_misses.then(|| vec![0u64; app_blocks]),
+            per_address: config.os_miss_map,
+        }
+    }
+
+    /// Replays one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an app block arrives but no app layout was supplied.
+    pub fn on_event(&mut self, event: TraceEvent) {
+        // Boundary and marker events feed the cache's diagnostic
+        // hooks (no-ops on plain caches) but fetch nothing.
+        let (id, domain) = match event {
+            TraceEvent::Block { id, domain } => (id, domain),
+            TraceEvent::OsEnter(kind) => {
+                self.cache.note_os_enter(kind);
+                return;
+            }
+            TraceEvent::OsExit => {
+                self.cache.note_os_exit();
+                return;
+            }
+            TraceEvent::Mark(tag) => {
+                self.cache.note_mark(tag);
+                return;
+            }
+        };
+        let layout = match domain {
+            Domain::Os => self.os_layout,
+            Domain::App => self.app_layout.expect("app block but no app layout"),
+        };
+        let base = layout.addr(id);
+        // Without per-address miss maps the per-word outcomes are not
+        // observed, so the whole block fetch goes through the cache's
+        // line-run path (identical stats and state, bulk-counted hits).
+        if !self.per_address {
+            let missed = self
+                .cache
+                .access_words(base, layout.fetch_words(id), domain);
+            if missed > 0 {
+                match domain {
+                    Domain::Os => {
+                        if let Some(v) = self.os_block_misses.as_mut() {
+                            v[id.index()] += missed;
+                        }
+                    }
+                    Domain::App => {
+                        if let Some(v) = self.app_block_misses.as_mut() {
+                            v[id.index()] += missed;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        let mut missed = 0u64;
+        for w in 0..layout.fetch_words(id) {
+            let addr = base + u64::from(w) * u64::from(oslay_model::WORD_BYTES);
+            let outcome = self.cache.access(addr, domain);
+            if let oslay_cache::AccessOutcome::Miss(kind) = outcome {
+                missed += 1;
+                if domain == Domain::Os {
+                    if let Some(map) = self.os_miss_map.as_mut() {
+                        map.add(addr);
+                    }
+                    match kind {
+                        oslay_cache::MissKind::OsSelf => {
+                            if let Some(map) = self.os_self_miss_map.as_mut() {
+                                map.add(addr);
+                            }
+                        }
+                        oslay_cache::MissKind::OsByApp => {
+                            if let Some(map) = self.os_cross_miss_map.as_mut() {
+                                map.add(addr);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if missed > 0 {
+            match domain {
+                Domain::Os => {
+                    if let Some(v) = self.os_block_misses.as_mut() {
+                        v[id.index()] += missed;
+                    }
+                }
+                Domain::App => {
+                    if let Some(v) = self.app_block_misses.as_mut() {
+                        v[id.index()] += missed;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finishes the replay, reading the final statistics off the cache.
+    #[must_use]
+    pub fn finish(self) -> SimResult {
+        SimResult {
+            stats: *self.cache.stats(),
+            os_miss_map: self.os_miss_map,
+            os_self_miss_map: self.os_self_miss_map,
+            os_cross_miss_map: self.os_cross_miss_map,
+            os_block_misses: self.os_block_misses,
+            app_block_misses: self.app_block_misses,
+        }
+    }
+}
+
+impl<C: InstructionCache + ?Sized> oslay_trace::TraceSink for Replayer<'_, C> {
+    fn event(&mut self, event: TraceEvent) {
+        self.on_event(event);
+    }
+}
+
 impl Study {
+    fn replayer_sizes(&self, case: &WorkloadCase) -> (usize, usize) {
+        (
+            self.kernel().program.num_blocks(),
+            case.app
+                .as_ref()
+                .map_or(0, oslay_model::Program::num_blocks),
+        )
+    }
+
     /// Replays `case`'s trace through `cache`, mapping OS blocks through
     /// `os_layout` and app blocks through `app_layout`.
     ///
@@ -73,12 +253,12 @@ impl Study {
     /// Panics if the workload traces an application but `app_layout` is
     /// `None`.
     #[must_use]
-    pub fn simulate(
+    pub fn simulate<C: InstructionCache + ?Sized>(
         &self,
         case: &WorkloadCase,
         os_layout: &Layout,
         app_layout: Option<&Layout>,
-        cache: &mut dyn InstructionCache,
+        cache: &mut C,
         config: &SimConfig,
     ) -> SimResult {
         assert!(
@@ -87,94 +267,53 @@ impl Study {
             case.name()
         );
         let _span = oslay_observe::span("study.sim");
-        let mut os_miss_map = config.os_miss_map.then(AddressHistogram::paper);
-        let mut os_self_miss_map = config.os_miss_map.then(AddressHistogram::paper);
-        let mut os_cross_miss_map = config.os_miss_map.then(AddressHistogram::paper);
-        let mut os_block_misses = config
-            .block_misses
-            .then(|| vec![0u64; self.kernel().program.num_blocks()]);
-        let mut app_block_misses = config.block_misses.then(|| {
-            vec![
-                0u64;
-                case.app
-                    .as_ref()
-                    .map_or(0, oslay_model::Program::num_blocks)
-            ]
-        });
-
+        let (os_blocks, app_blocks) = self.replayer_sizes(case);
+        let mut replayer =
+            Replayer::new(os_layout, app_layout, cache, config, os_blocks, app_blocks);
         for event in case.trace.events() {
-            // Boundary and marker events feed the cache's diagnostic
-            // hooks (no-ops on plain caches) but fetch nothing.
-            let (id, domain) = match *event {
-                TraceEvent::Block { id, domain } => (id, domain),
-                TraceEvent::OsEnter(kind) => {
-                    cache.note_os_enter(kind);
-                    continue;
-                }
-                TraceEvent::OsExit => {
-                    cache.note_os_exit();
-                    continue;
-                }
-                TraceEvent::Mark(tag) => {
-                    cache.note_mark(tag);
-                    continue;
-                }
-            };
-            let layout = match domain {
-                Domain::Os => os_layout,
-                Domain::App => app_layout.expect("checked above"),
-            };
-            let mut missed = 0u64;
-            let base = layout.addr(id);
-            for w in 0..layout.fetch_words(id) {
-                let addr = base + u64::from(w) * u64::from(oslay_model::WORD_BYTES);
-                let outcome = cache.access(addr, domain);
-                if let oslay_cache::AccessOutcome::Miss(kind) = outcome {
-                    missed += 1;
-                    if domain == Domain::Os {
-                        if let Some(map) = os_miss_map.as_mut() {
-                            map.add(addr);
-                        }
-                        match kind {
-                            oslay_cache::MissKind::OsSelf => {
-                                if let Some(map) = os_self_miss_map.as_mut() {
-                                    map.add(addr);
-                                }
-                            }
-                            oslay_cache::MissKind::OsByApp => {
-                                if let Some(map) = os_cross_miss_map.as_mut() {
-                                    map.add(addr);
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-            }
-            if missed > 0 {
-                match domain {
-                    Domain::Os => {
-                        if let Some(v) = os_block_misses.as_mut() {
-                            v[id.index()] += missed;
-                        }
-                    }
-                    Domain::App => {
-                        if let Some(v) = app_block_misses.as_mut() {
-                            v[id.index()] += missed;
-                        }
-                    }
-                }
-            }
+            replayer.on_event(*event);
         }
+        replayer.finish()
+    }
 
-        SimResult {
-            stats: *cache.stats(),
-            os_miss_map,
-            os_self_miss_map,
-            os_cross_miss_map,
-            os_block_misses,
-            app_block_misses,
-        }
+    /// Like [`Study::simulate`], but regenerates the case's trace from its
+    /// recorded seed and streams every event straight into the cache —
+    /// the event vector is never touched (nor needed), so this is the
+    /// path for workloads too large to buffer.
+    ///
+    /// Produces bit-identical results to [`Study::simulate`] because the
+    /// engine's streaming walk emits the same event sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload traces an application but `app_layout` is
+    /// `None`.
+    #[must_use]
+    pub fn replay_streaming<C: InstructionCache + ?Sized>(
+        &self,
+        case: &WorkloadCase,
+        os_layout: &Layout,
+        app_layout: Option<&Layout>,
+        cache: &mut C,
+        config: &SimConfig,
+    ) -> SimResult {
+        assert!(
+            case.app.is_none() || app_layout.is_some(),
+            "workload {} traces an application: supply its layout",
+            case.name()
+        );
+        let _span = oslay_observe::span("study.sim");
+        let (os_blocks, app_blocks) = self.replayer_sizes(case);
+        let mut replayer =
+            Replayer::new(os_layout, app_layout, cache, config, os_blocks, app_blocks);
+        let mut engine = oslay_trace::Engine::new(
+            &self.kernel().program,
+            case.app.as_ref(),
+            &case.spec,
+            oslay_trace::EngineConfig::new(case.engine_seed),
+        );
+        engine.run_into(self.config().os_blocks, &mut replayer);
+        replayer.finish()
     }
 }
 
@@ -260,6 +399,38 @@ mod tests {
             r.os_miss_map.as_ref().unwrap().total(),
             r.stats.total_misses()
         );
+    }
+
+    #[test]
+    fn streaming_replay_matches_buffered_simulate() {
+        let s = study();
+        for case in [&s.cases()[0], &s.cases()[3]] {
+            let base = s.os_layout(OsLayoutKind::Base, 8192);
+            let app = s.app_base_layout(case);
+            let mut c1 = Cache::new(CacheConfig::paper_default());
+            let buffered = s.simulate(
+                case,
+                &base.layout,
+                app.as_ref(),
+                &mut c1,
+                &SimConfig::full(),
+            );
+            let mut c2 = Cache::new(CacheConfig::paper_default());
+            let streamed = s.replay_streaming(
+                case,
+                &base.layout,
+                app.as_ref(),
+                &mut c2,
+                &SimConfig::full(),
+            );
+            assert_eq!(buffered.stats, streamed.stats, "case {}", case.name());
+            assert_eq!(buffered.os_block_misses, streamed.os_block_misses);
+            assert_eq!(buffered.app_block_misses, streamed.app_block_misses);
+            assert_eq!(
+                buffered.os_miss_map.as_ref().unwrap().total(),
+                streamed.os_miss_map.as_ref().unwrap().total()
+            );
+        }
     }
 
     #[test]

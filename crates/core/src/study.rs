@@ -94,6 +94,10 @@ pub struct WorkloadCase {
     pub os_profile: Profile,
     /// Application profile, if an application is traced.
     pub app_profile: Option<Profile>,
+    /// Seed of the engine that produced (and can re-produce) this case's
+    /// trace — the streaming replay path re-runs the walk instead of
+    /// re-reading the buffered events.
+    pub engine_seed: u64,
 }
 
 impl WorkloadCase {
@@ -173,12 +177,24 @@ impl Study {
     /// to the global [`oslay_observe`] recorder.
     #[must_use]
     pub fn generate(config: &StudyConfig) -> Self {
+        Self::generate_with_threads(config, 1)
+    }
+
+    /// Like [`Study::generate`], sharding the per-workload work (app
+    /// synthesis, trace walk, profiling) over up to `threads` workers.
+    ///
+    /// Every case derives its seeds from the master seed and its own
+    /// index, never from execution order, so the result is identical to
+    /// the sequential build at any worker count.
+    #[must_use]
+    pub fn generate_with_threads(config: &StudyConfig, threads: usize) -> Self {
         let kernel = oslay_observe::global_recorder().time("study.synth.kernel", || {
             generate_kernel(&KernelParams::at_scale(config.scale, config.seed))
         });
         let specs = standard_workloads(&kernel.tables);
-        let mut cases = Vec::new();
-        for (i, (workload, spec)) in StandardWorkload::ALL.iter().zip(specs).enumerate() {
+        let jobs: Vec<(StandardWorkload, WorkloadSpec)> =
+            StandardWorkload::ALL.iter().copied().zip(specs).collect();
+        let cases = crate::exec::parallel_map(threads, jobs, |i, (workload, spec)| {
             let components = workload.app_components();
             let app = if spec.has_app() && !components.is_empty() {
                 let _g = oslay_observe::span("study.synth.app");
@@ -189,11 +205,12 @@ impl Study {
             } else {
                 None
             };
+            let engine_seed = config.seed ^ (0x7_0000 + i as u64);
             let mut engine = Engine::new(
                 &kernel.program,
                 app.as_ref(),
                 &spec,
-                EngineConfig::new(config.seed ^ (0x7_0000 + i as u64)),
+                EngineConfig::new(engine_seed),
             );
             let trace = {
                 let _g = oslay_observe::span("study.trace");
@@ -202,15 +219,16 @@ impl Study {
             let _g = oslay_observe::span("study.profile");
             let os_profile = Profile::collect(&kernel.program, &trace);
             let app_profile = app.as_ref().map(|a| Profile::collect(a, &trace));
-            cases.push(WorkloadCase {
-                workload: *workload,
+            WorkloadCase {
+                workload,
                 spec,
                 app,
                 trace,
                 os_profile,
                 app_profile,
-            });
-        }
+                engine_seed,
+            }
+        });
         let _g = oslay_observe::span("study.loops");
         let os_profile_avg = Profile::merge_all(
             &cases
@@ -428,6 +446,21 @@ mod tests {
                 "missing phase span {phase}"
             );
         }
+    }
+
+    #[test]
+    fn threaded_generation_matches_sequential() {
+        let a = Study::generate(&StudyConfig::tiny());
+        let b = Study::generate_with_threads(&StudyConfig::tiny(), 4);
+        for (ca, cb) in a.cases().iter().zip(b.cases()) {
+            assert_eq!(ca.workload, cb.workload);
+            assert_eq!(ca.trace, cb.trace);
+            assert_eq!(ca.engine_seed, cb.engine_seed);
+        }
+        assert_eq!(
+            a.averaged_os_profile().total_node_weight(),
+            b.averaged_os_profile().total_node_weight()
+        );
     }
 
     #[test]

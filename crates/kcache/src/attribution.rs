@@ -180,6 +180,21 @@ impl AddressMap {
         (addr < end).then_some(code)
     }
 
+    /// Like [`AddressMap::lookup`], but returns the half-open address
+    /// range sharing `addr`'s answer: the containing span, or the gap
+    /// between spans. Callers memoize the range so that the sequential
+    /// fetches of one basic block cost a single binary search.
+    #[must_use]
+    pub fn lookup_span(&self, addr: u64) -> (u64, u64, Option<CodeRef>) {
+        let i = self.spans.partition_point(|&(start, _, _)| start <= addr);
+        let next_start = self.spans.get(i).map_or(u64::MAX, |&(start, _, _)| start);
+        match i.checked_sub(1).and_then(|j| self.spans.get(j)) {
+            Some(&(start, end, code)) if addr < end => (start, end, Some(code)),
+            Some(&(_, end, _)) => (end, next_start, None),
+            None => (0, next_start, None),
+        }
+    }
+
     /// Number of spans.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -199,17 +214,36 @@ impl AddressMap {
 /// Holds at most `capacity` tags. [`ShadowTags::touch`] reports whether
 /// the line was resident — i.e. whether a fully-associative LRU cache of
 /// the same total capacity would have hit — and promotes it to
-/// most-recently-used. Tags only, no data: the store costs two words per
-/// resident line.
+/// most-recently-used.
+///
+/// Touch and evict are O(1) and allocation-free after construction: an
+/// intrusive doubly-linked LRU list threaded through a fixed slab of
+/// nodes, found via a preallocated open-addressed hash index (linear
+/// probing, backward-shift deletion, so no tombstones accumulate). The
+/// map-based original survives as
+/// [`crate::reference::ReferenceShadowTags`]; the equivalence tests drive
+/// both with identical touch sequences.
 #[derive(Clone, Debug)]
 pub struct ShadowTags {
     capacity: usize,
-    stamp: u64,
-    /// line → most recent touch stamp.
-    stamps: HashMap<u64, u64>,
-    /// touch stamp → line (the LRU order; first entry is coldest).
-    by_stamp: BTreeMap<u64, u64>,
+    /// Slab: line tag per node.
+    lines: Vec<u64>,
+    /// Intrusive list links per node ([`SHADOW_NIL`] terminated).
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// Most-recently-used node.
+    head: u32,
+    /// Least-recently-used node (the eviction candidate).
+    tail: u32,
+    len: usize,
+    /// Open-addressed index: `(line, node)` pairs, node == [`SHADOW_NIL`]
+    /// meaning empty. Power-of-two sized, ≥2× capacity, so load factor
+    /// stays ≤ 0.5.
+    index: Vec<(u64, u32)>,
 }
+
+/// Null node index for [`ShadowTags`]' intrusive list and hash index.
+const SHADOW_NIL: u32 = u32::MAX;
 
 impl ShadowTags {
     /// Creates a store holding `capacity` line tags.
@@ -220,11 +254,93 @@ impl ShadowTags {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "shadow store needs capacity");
+        let index_size = (capacity * 2).next_power_of_two();
         Self {
             capacity,
-            stamp: 0,
-            stamps: HashMap::new(),
-            by_stamp: BTreeMap::new(),
+            lines: vec![0; capacity],
+            prev: vec![SHADOW_NIL; capacity],
+            next: vec![SHADOW_NIL; capacity],
+            head: SHADOW_NIL,
+            tail: SHADOW_NIL,
+            len: 0,
+            index: vec![(0, SHADOW_NIL); index_size],
+        }
+    }
+
+    /// Fibonacci-hash home bucket of a line.
+    #[inline]
+    fn home(&self, line: u64) -> usize {
+        let hash = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (hash >> (64 - self.index.len().trailing_zeros())) as usize
+    }
+
+    /// Index position holding `line`, or the empty position where it
+    /// would be inserted.
+    #[inline]
+    fn index_pos(&self, line: u64) -> usize {
+        let mask = self.index.len() - 1;
+        let mut i = self.home(line);
+        loop {
+            let (key, node) = self.index[i];
+            if node == SHADOW_NIL || key == line {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Removes `line`'s index entry with backward-shift deletion (keeps
+    /// probe chains contiguous without tombstones).
+    fn index_remove(&mut self, line: u64) {
+        let mask = self.index.len() - 1;
+        let mut hole = self.index_pos(line);
+        debug_assert_ne!(self.index[hole].1, SHADOW_NIL, "removing absent line");
+        self.index[hole] = (0, SHADOW_NIL);
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            let (key, node) = self.index[j];
+            if node == SHADOW_NIL {
+                return;
+            }
+            // Move the entry back iff the hole lies within its probe
+            // chain (i.e. between its home bucket and its position).
+            let home = self.home(key);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.index[hole] = (key, node);
+                self.index[j] = (0, SHADOW_NIL);
+                hole = j;
+            }
+        }
+    }
+
+    /// Unlinks `node` from the LRU list.
+    #[inline]
+    fn unlink(&mut self, node: u32) {
+        let (p, n) = (self.prev[node as usize], self.next[node as usize]);
+        if p == SHADOW_NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == SHADOW_NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Links `node` at the MRU end.
+    #[inline]
+    fn push_front(&mut self, node: u32) {
+        self.prev[node as usize] = SHADOW_NIL;
+        self.next[node as usize] = self.head;
+        if self.head != SHADOW_NIL {
+            self.prev[self.head as usize] = node;
+        }
+        self.head = node;
+        if self.tail == SHADOW_NIL {
+            self.tail = node;
         }
     }
 
@@ -232,43 +348,55 @@ impl ShadowTags {
     /// hit). Non-resident lines are inserted, evicting the coldest tag
     /// once the store is full.
     pub fn touch(&mut self, line: u64) -> bool {
-        self.stamp += 1;
-        match self.stamps.insert(line, self.stamp) {
-            Some(old) => {
-                self.by_stamp.remove(&old);
-                self.by_stamp.insert(self.stamp, line);
-                true
+        let pos = self.index_pos(line);
+        let (_, node) = self.index[pos];
+        if node != SHADOW_NIL {
+            // Resident: promote to MRU.
+            if self.head != node {
+                self.unlink(node);
+                self.push_front(node);
             }
-            None => {
-                self.by_stamp.insert(self.stamp, line);
-                if self.stamps.len() > self.capacity {
-                    let (&coldest, &victim) =
-                        self.by_stamp.iter().next().expect("store is non-empty");
-                    self.by_stamp.remove(&coldest);
-                    self.stamps.remove(&victim);
-                }
-                false
-            }
+            return true;
         }
+        // Not resident: take a free slab slot, or recycle the LRU node.
+        let slot = if self.len < self.capacity {
+            self.len += 1;
+            (self.len - 1) as u32
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.index_remove(self.lines[victim as usize]);
+            victim
+        };
+        self.lines[slot as usize] = line;
+        // The eviction above may have shifted entries; re-probe.
+        let pos = self.index_pos(line);
+        self.index[pos] = (line, slot);
+        self.push_front(slot);
+        false
     }
 
     /// Number of resident tags.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.stamps.len()
+        self.len
     }
 
     /// True when no tag is resident.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.stamps.is_empty()
+        self.len == 0
     }
 
     /// Clears all tags.
     pub fn clear(&mut self) {
-        self.stamps.clear();
-        self.by_stamp.clear();
-        self.stamp = 0;
+        self.lines.fill(0);
+        self.prev.fill(SHADOW_NIL);
+        self.next.fill(SHADOW_NIL);
+        self.head = SHADOW_NIL;
+        self.tail = SHADOW_NIL;
+        self.len = 0;
+        self.index.fill((0, SHADOW_NIL));
     }
 }
 
@@ -396,7 +524,7 @@ impl ConflictMatrix {
 }
 
 /// Everything the attribution engine measured in one simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AttributionReport {
     /// Geometry of the attributed cache.
     pub config: CacheConfig,
@@ -544,6 +672,11 @@ pub struct AttributedCache {
     inner: Cache,
     map: Arc<AddressMap>,
     shadow: ShadowTags,
+    /// Last resolved map range `(start, end, code)` — sequential fetches
+    /// of one block stay inside one span, so almost every access resolves
+    /// here instead of binary-searching the map. Starts empty
+    /// (`start > end`, matching nothing).
+    span_memo: (u64, u64, Option<CodeRef>),
     /// victim line → line whose fill displaced it.
     last_evictor: HashMap<u64, u64>,
     set_accesses: Vec<u64>,
@@ -588,6 +721,7 @@ impl AttributedCache {
             inner,
             map,
             shadow: ShadowTags::new(lines),
+            span_memo: (1, 0, None),
             last_evictor: HashMap::new(),
             set_accesses: vec![0; sets],
             set_misses: vec![0; sets],
@@ -666,7 +800,12 @@ impl InstructionCache for AttributedCache {
     fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
         let detail = self.inner.access_detailed(addr, domain);
         self.set_accesses[detail.set as usize] += 1;
-        let code = self.map.lookup(addr);
+        let code = if self.span_memo.0 <= addr && addr < self.span_memo.1 {
+            self.span_memo.2
+        } else {
+            self.span_memo = self.map.lookup_span(addr);
+            self.span_memo.2
+        };
         self.census_refs[Self::census_slot(code)] += 1;
         // The shadow stack sees every access (hits keep the LRU order
         // honest); its verdict is read before this touch takes effect.
@@ -719,6 +858,7 @@ impl InstructionCache for AttributedCache {
     fn reset(&mut self) {
         self.inner.reset();
         self.shadow.clear();
+        self.span_memo = (1, 0, None);
         self.last_evictor.clear();
         self.set_accesses.fill(0);
         self.set_misses.fill(0);
@@ -912,6 +1052,24 @@ mod tests {
     }
 
     #[test]
+    fn lookup_span_agrees_with_lookup_everywhere() {
+        let map = AddressMap::build([
+            (16, 16, code(Domain::Os, 0, 0, CodeClass::MainSeq)),
+            (48, 8, code(Domain::Os, 1, 0, CodeClass::Cold)),
+        ]);
+        for addr in 0..80u64 {
+            let (start, end, got) = map.lookup_span(addr);
+            assert!(start <= addr && addr < end, "addr {addr}: [{start}, {end})");
+            assert_eq!(got, map.lookup(addr), "addr {addr}");
+            // The whole returned range must share the answer (that is the
+            // memoization contract).
+            for a in start..end.min(80) {
+                assert_eq!(map.lookup(a), got, "addr {addr}, range member {a}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "overlapping")]
     fn address_map_rejects_overlap() {
         let _ = AddressMap::build([
@@ -932,6 +1090,33 @@ mod tests {
         assert_eq!(s.len(), 2);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn shadow_tags_match_reference_on_randomized_touches() {
+        use crate::reference::ReferenceShadowTags;
+        use oslay_model::rng::Rng;
+
+        // Capacities around and below the working-set size, line keys drawn
+        // from a range a few times the capacity so hits, evictions and
+        // re-fetches all occur constantly.
+        for (seed, capacity) in [(1u64, 1usize), (2, 2), (3, 7), (4, 64), (5, 256)] {
+            let mut fast = ShadowTags::new(capacity);
+            let mut reference = ReferenceShadowTags::new(capacity);
+            let mut rng = Rng::seed_from_u64(seed);
+            let span = (capacity as u32) * 4 + 3;
+            for step in 0..50_000u32 {
+                let line = u64::from(rng.gen_range(0..span)) * 32;
+                let got = fast.touch(line);
+                let want = reference.touch(line);
+                assert_eq!(got, want, "capacity {capacity} step {step} line {line}");
+                assert_eq!(
+                    fast.len(),
+                    reference.len(),
+                    "capacity {capacity} step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -82,7 +82,24 @@ impl CacheConfig {
     /// Set index of an address.
     #[must_use]
     pub fn set_of(&self, addr: u64) -> u32 {
-        ((addr / u64::from(self.line)) % u64::from(self.num_sets())) as u32
+        ((addr >> self.line_shift()) & u64::from(self.num_sets() - 1)) as u32
+    }
+
+    /// Shift that converts an address to its line key (`log2(line)`).
+    ///
+    /// The hot path precomputes this: `addr >> line_shift` is the line
+    /// key, `key & set_mask` the set index, `key << line_shift` the
+    /// line-aligned address — one decomposition, no division.
+    #[must_use]
+    pub fn line_shift(&self) -> u32 {
+        self.line.trailing_zeros()
+    }
+
+    /// Mask extracting the set index from a line key
+    /// (`num_sets - 1`; valid because set counts are powers of two).
+    #[must_use]
+    pub fn set_mask(&self) -> u64 {
+        u64::from(self.num_sets() - 1)
     }
 
     /// Returns this geometry with a different total size.

@@ -24,6 +24,8 @@
 mod attribution;
 mod census;
 mod config;
+#[doc(hidden)]
+pub mod reference;
 mod reserved;
 mod sim;
 mod split;
@@ -50,6 +52,25 @@ pub trait InstructionCache: std::fmt::Debug {
     /// Simulates one instruction-word fetch at byte address `addr` by
     /// `domain` and returns its outcome.
     fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome;
+
+    /// Simulates `words` consecutive instruction-word fetches starting at
+    /// `base` and returns the number that missed.
+    ///
+    /// Exactly equivalent to calling [`InstructionCache::access`] once per
+    /// word (and this default does just that); implementations may exploit
+    /// the sequentiality — after the first fetch of a cache line the
+    /// remaining words of that line are guaranteed hits that leave the
+    /// replacement state untouched, so they can be bulk-counted.
+    fn access_words(&mut self, base: u64, words: u32, domain: Domain) -> u64 {
+        let mut missed = 0u64;
+        for w in 0..words {
+            let addr = base + u64::from(w) * u64::from(oslay_model::WORD_BYTES);
+            if matches!(self.access(addr, domain), AccessOutcome::Miss(_)) {
+                missed += 1;
+            }
+        }
+        missed
+    }
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &MissStats;

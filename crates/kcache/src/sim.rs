@@ -1,6 +1,13 @@
 //! The core set-associative LRU cache simulator.
+//!
+//! The hot path is dense and allocation-free: per-set tag/LRU arrays
+//! indexed by a precomputed `(set, tag)` decomposition (shift + mask, no
+//! division), and a bounded per-set [`EvictTable`] replacing the old
+//! unbounded `HashMap<line, Domain>` for interference classification. A
+//! map-based twin is preserved in [`crate::reference`] and the test suite
+//! replays randomized traces through both, asserting identical per-access
+//! outcomes.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use oslay_model::Domain;
@@ -125,19 +132,84 @@ pub struct AccessDetail {
     pub evicted: Option<u64>,
 }
 
-#[derive(Copy, Clone, Debug)]
-struct Way {
-    line: u64,
-    lru: u64,
-    valid: bool,
+/// Sentinel tag marking an invalid (never filled) way. Line keys are
+/// `addr >> line_shift`, so a real key can only collide with the sentinel
+/// for addresses in the topmost line of the address space — which the
+/// layouts never produce (debug-asserted on access).
+const TAG_EMPTY: u64 = u64::MAX;
+
+/// Bounded per-set store of "who last evicted this line", replacing the
+/// old unbounded `HashMap<u64, Domain>` (which grew one entry per distinct
+/// line ever evicted and was never pruned on re-fill).
+///
+/// Each set keeps its records sorted by line key for `O(log n)` lookup
+/// and update. When a set reaches `cap` records, the *oldest inserted*
+/// record is dropped round-robin; classification of a line whose record
+/// was dropped degrades to `Cold`, exactly as if the line had never been
+/// cached. The default cap (4096) is far above the distinct-lines-per-set
+/// count of any paper-scale workload (~a few hundred), so results are
+/// bit-identical to the unbounded map while memory stays bounded at
+/// `O(sets × cap)` worst case.
+#[derive(Clone, Debug)]
+struct EvictTable {
+    cap: usize,
+    /// Per set: records `(line_key, evictor)` sorted by key, plus the
+    /// round-robin drop cursor used when the set is at capacity.
+    sets: Vec<(Vec<(u64, Domain)>, usize)>,
 }
 
-impl Way {
-    const EMPTY: Way = Way {
-        line: 0,
-        lru: 0,
-        valid: false,
-    };
+impl EvictTable {
+    /// Default per-set record bound.
+    const DEFAULT_CAP: usize = 4096;
+
+    fn new(num_sets: usize, cap: usize) -> Self {
+        assert!(cap > 0, "evict table needs capacity");
+        Self {
+            cap,
+            sets: vec![(Vec::new(), 0); num_sets],
+        }
+    }
+
+    fn lookup(&self, set: u32, key: u64) -> Option<Domain> {
+        let records = &self.sets[set as usize].0;
+        records
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| records[i].1)
+    }
+
+    fn record(&mut self, set: u32, key: u64, evictor: Domain) {
+        let (records, cursor) = &mut self.sets[set as usize];
+        match records.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => records[i].1 = evictor,
+            Err(i) => {
+                if records.len() >= self.cap {
+                    // At capacity: drop one record round-robin to make
+                    // room (its line reclassifies as cold if refetched).
+                    let drop_at = *cursor % records.len();
+                    *cursor = cursor.wrapping_add(1);
+                    records.remove(drop_at);
+                    let i = records
+                        .binary_search_by_key(&key, |&(k, _)| k)
+                        .expect_err("key was absent");
+                    records.insert(i, (key, evictor));
+                } else {
+                    records.insert(i, (key, evictor));
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(|(r, _)| r.len()).sum()
+    }
+
+    fn clear(&mut self) {
+        for (records, cursor) in &mut self.sets {
+            records.clear();
+            *cursor = 0;
+        }
+    }
 }
 
 /// A unified set-associative LRU instruction cache.
@@ -158,11 +230,17 @@ impl Way {
 #[derive(Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    ways: Vec<Way>,
-    /// Last evictor per line address (absent = never evicted; paired with
-    /// `seen` to distinguish cold misses).
-    evicted_by: HashMap<u64, Domain>,
-    seen: std::collections::HashSet<u64>,
+    /// `log2(line)`: `addr >> line_shift` is the line key.
+    line_shift: u32,
+    /// `num_sets - 1`: `key & set_mask` is the set index.
+    set_mask: u64,
+    ways_per_set: usize,
+    /// Line key per way, set-major ([`TAG_EMPTY`] = invalid).
+    tags: Vec<u64>,
+    /// Last-touch clock per way, parallel to `tags`.
+    lru: Vec<u64>,
+    /// Last evictor per line (bounded; absent = never evicted = cold).
+    evicted_by: EvictTable,
     clock: u64,
     stats: MissStats,
     /// Consulted only on the miss path and in
@@ -185,16 +263,39 @@ impl Cache {
     /// Creates an empty cache.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_evict_cap(cfg, EvictTable::DEFAULT_CAP)
+    }
+
+    /// Creates an empty cache with a custom per-set bound on eviction
+    /// provenance records (tests use tiny caps to exercise the drop
+    /// path; the default is [`EvictTable::DEFAULT_CAP`] via
+    /// [`Cache::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evict_cap` is zero.
+    #[must_use]
+    pub fn with_evict_cap(cfg: CacheConfig, evict_cap: usize) -> Self {
         let slots = (cfg.num_sets() * cfg.ways()) as usize;
         Self {
             cfg,
-            ways: vec![Way::EMPTY; slots],
-            evicted_by: HashMap::new(),
-            seen: std::collections::HashSet::new(),
+            line_shift: cfg.line_shift(),
+            set_mask: cfg.set_mask(),
+            ways_per_set: cfg.ways() as usize,
+            tags: vec![TAG_EMPTY; slots],
+            lru: vec![0; slots],
+            evicted_by: EvictTable::new(cfg.num_sets() as usize, evict_cap),
             clock: 0,
             stats: MissStats::default(),
             probe: None,
         }
+    }
+
+    /// Total eviction-provenance records currently held (test hook for
+    /// the boundedness guarantee).
+    #[must_use]
+    pub fn evict_records(&self) -> usize {
+        self.evicted_by.len()
     }
 
     /// Creates an empty cache reporting metrics to `probe`: miss
@@ -225,38 +326,39 @@ impl Cache {
     /// gauge. No-op without a probe.
     pub fn record_occupancy(&self) {
         let Some(probe) = &self.probe else { return };
-        let w = self.cfg.ways() as usize;
         let mut valid_total = 0usize;
-        for set in self.ways.chunks(w) {
-            let occupied = set.iter().filter(|way| way.valid).count();
+        for set in self.tags.chunks(self.ways_per_set) {
+            let occupied = set.iter().filter(|&&tag| tag != TAG_EMPTY).count();
             valid_total += occupied;
             probe.histogram_record("cache.set_occupancy", occupied as u64);
         }
         probe.gauge_set(
             "cache.occupancy",
-            valid_total as f64 / self.ways.len() as f64,
+            valid_total as f64 / self.tags.len() as f64,
         );
-    }
-
-    fn set_slice(&mut self, set: u32) -> &mut [Way] {
-        let w = self.cfg.ways() as usize;
-        let base = set as usize * w;
-        &mut self.ways[base..base + w]
     }
 
     /// Like [`InstructionCache::access`], but also reports the touched
     /// line, its set, and the line evicted by the fill (if any).
+    ///
+    /// The hit path is branch-light: one shift-and-mask decomposition, a
+    /// scan of at most `ways` dense tags, one LRU stamp. Maps are only
+    /// consulted on misses.
+    #[inline]
     pub fn access_detailed(&mut self, addr: u64, domain: Domain) -> AccessDetail {
         self.clock += 1;
         let clock = self.clock;
-        let line = self.cfg.line_addr(addr);
-        let set = self.cfg.set_of(addr);
-        let ways = self.set_slice(set);
+        let key = addr >> self.line_shift;
+        debug_assert_ne!(key, TAG_EMPTY, "address in the topmost line");
+        let set = (key & self.set_mask) as u32;
+        let line = key << self.line_shift;
+        let base = set as usize * self.ways_per_set;
+        let ways = base..base + self.ways_per_set;
 
-        // Hit?
-        for way in ways.iter_mut() {
-            if way.valid && way.line == line {
-                way.lru = clock;
+        // Hit? (A key never equals TAG_EMPTY, so no validity check.)
+        for i in ways.clone() {
+            if self.tags[i] == key {
+                self.lru[i] = clock;
                 self.stats.record(domain, AccessOutcome::Hit);
                 return AccessDetail {
                     outcome: AccessOutcome::Hit,
@@ -267,30 +369,31 @@ impl Cache {
             }
         }
 
-        // Miss: classify, then fill the LRU (or an invalid) way.
-        let victim_slot = ways
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| (w.valid, w.lru))
-            .map(|(i, _)| i)
-            .expect("cache sets are never empty");
-        let evictee = ways[victim_slot];
-        ways[victim_slot] = Way {
-            line,
-            lru: clock,
-            valid: true,
-        };
-        if evictee.valid {
-            self.evicted_by.insert(evictee.line, domain);
+        // Miss: fill the first invalid way, else the first-least-recently
+        // used one (matching the reference implementation's tie-break).
+        let mut victim = base;
+        let mut best = (self.tags[base] != TAG_EMPTY, self.lru[base]);
+        for i in ways.skip(1) {
+            let rank = (self.tags[i] != TAG_EMPTY, self.lru[i]);
+            if rank < best {
+                best = rank;
+                victim = i;
+            }
         }
-        let kind = if self.seen.insert(line) {
-            MissKind::Cold
-        } else {
-            MissKind::classify(domain, self.evicted_by.get(&line).copied())
-        };
+        let evictee = self.tags[victim];
+        let evicted_valid = evictee != TAG_EMPTY;
+        self.tags[victim] = key;
+        self.lru[victim] = clock;
+        if evicted_valid {
+            self.evicted_by.record(set, evictee, domain);
+        }
+        // A line is non-cold iff it was ever evicted — residency implies a
+        // prior fill, and every displacement of a valid line leaves a
+        // provenance record — so the evict table doubles as the seen-set.
+        let kind = MissKind::classify(domain, self.evicted_by.lookup(set, key));
         if let Some(probe) = &self.probe {
             probe.counter_add(kind.metric_name(), 1);
-            if evictee.valid {
+            if evicted_valid {
                 probe.counter_add(
                     match domain {
                         Domain::Os => "cache.evict.by_os",
@@ -306,14 +409,39 @@ impl Cache {
             outcome,
             line,
             set,
-            evicted: evictee.valid.then_some(evictee.line),
+            evicted: evicted_valid.then(|| evictee << self.line_shift),
         }
     }
 }
 
 impl InstructionCache for Cache {
+    #[inline]
     fn access(&mut self, addr: u64, domain: Domain) -> AccessOutcome {
         self.access_detailed(addr, domain).outcome
+    }
+
+    fn access_words(&mut self, base: u64, words: u32, domain: Domain) -> u64 {
+        let word = u64::from(oslay_model::WORD_BYTES);
+        let line = u64::from(self.cfg.line());
+        let mut missed = 0u64;
+        let mut w = 0u32;
+        while w < words {
+            let addr = base + u64::from(w) * word;
+            // Words left in this cache line, rounding up: block layouts are
+            // byte-granular, so a fetch base need not be word-aligned and a
+            // partial trailing word still belongs to (and ends) this line.
+            let in_line = (line - (addr % line)).div_ceil(word) as u32;
+            let run = in_line.min(words - w);
+            if matches!(self.access(addr, domain), AccessOutcome::Miss(_)) {
+                missed += 1;
+            }
+            // The remaining `run - 1` words of the line are guaranteed
+            // hits: the line is resident and already MRU, so re-touching
+            // it per word would not change any replacement state.
+            self.stats.record_hits(domain, u64::from(run) - 1);
+            w += run;
+        }
+        missed
     }
 
     fn stats(&self) -> &MissStats {
@@ -321,9 +449,9 @@ impl InstructionCache for Cache {
     }
 
     fn reset(&mut self) {
-        self.ways.fill(Way::EMPTY);
+        self.tags.fill(TAG_EMPTY);
+        self.lru.fill(0);
         self.evicted_by.clear();
-        self.seen.clear();
         self.clock = 0;
         self.stats = MissStats::default();
     }
@@ -497,5 +625,118 @@ mod tests {
             c.access(0, Domain::Os),
             AccessOutcome::Miss(MissKind::OsSelf)
         );
+    }
+
+    #[test]
+    fn evict_records_stay_bounded_per_set() {
+        // Regression: the old implementation kept one `evicted_by` entry
+        // per distinct line ever evicted, forever. Thrash one set of a
+        // direct-mapped cache with far more distinct lines than the cap
+        // and check the table never exceeds it.
+        let cap = 8;
+        let mut c = Cache::with_evict_cap(CacheConfig::new(64, 16, 1), cap);
+        for round in 0..4u64 {
+            for i in 0..64u64 {
+                // All map to set 0 (stride = 4 sets * 16B line).
+                c.access(i * 64, Domain::Os);
+                assert!(
+                    c.evict_records() <= cap * 4,
+                    "round {round}: {} records exceed bound",
+                    c.evict_records()
+                );
+            }
+        }
+        assert!(c.evict_records() >= cap, "table should fill to its cap");
+        // Reset clears provenance too.
+        c.reset();
+        assert_eq!(c.evict_records(), 0);
+    }
+
+    #[test]
+    fn dropped_evict_record_degrades_to_cold() {
+        // Under cap pressure, old provenance is forgotten: a refetch of a
+        // line whose record was dropped classifies as cold — never
+        // misattributed to the wrong domain.
+        let mut c = Cache::with_evict_cap(CacheConfig::new(64, 16, 1), 2);
+        c.access(0, Domain::Os);
+        c.access(64, Domain::Os); // evicts line 0 (recorded: 0 <- Os)
+        assert_eq!(
+            c.access(0, Domain::Os), // evicts 64 (recorded: 64 <- Os)
+            AccessOutcome::Miss(MissKind::OsSelf)
+        );
+        c.access(128, Domain::App); // evicts 0 (record updated in place)
+        c.access(192, Domain::App); // evicts 128; set at cap, drops 0's record
+        assert_eq!(
+            c.access(64, Domain::Os), // its record survived the drops
+            AccessOutcome::Miss(MissKind::OsSelf),
+            "surviving record still classifies"
+        );
+        assert_eq!(
+            c.access(0, Domain::Os), // 0's record was dropped at cap
+            AccessOutcome::Miss(MissKind::Cold),
+            "dropped record degrades to cold"
+        );
+    }
+
+    #[test]
+    fn access_words_matches_per_word_loop() {
+        use oslay_model::rng::Rng;
+        for ways in [1u32, 2, 4] {
+            let cfg = CacheConfig::new(1024, 32, ways);
+            let mut coalesced = Cache::new(cfg);
+            let mut per_word = Cache::new(cfg);
+            let mut rng = Rng::seed_from_u64(0xC0A1 + u64::from(ways));
+            for _ in 0..5_000 {
+                // Random (possibly line-straddling) block fetch at a
+                // byte-granular, not necessarily word-aligned, base.
+                let base = u64::from(rng.gen_range(0..4800u32));
+                let words = 1 + rng.gen_range(0..24u32);
+                let domain = if rng.gen_range(0..2u32) == 0 {
+                    Domain::Os
+                } else {
+                    Domain::App
+                };
+                let fast = coalesced.access_words(base, words, domain);
+                let mut slow = 0u64;
+                for w in 0..words {
+                    let addr = base + u64::from(w) * u64::from(oslay_model::WORD_BYTES);
+                    if matches!(per_word.access(addr, domain), AccessOutcome::Miss(_)) {
+                        slow += 1;
+                    }
+                }
+                assert_eq!(fast, slow);
+                assert_eq!(coalesced.stats(), per_word.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_cache_on_randomized_trace() {
+        use crate::reference::ReferenceCache;
+        use oslay_model::rng::Rng;
+
+        // Several geometries, domains interleaved, addresses spanning many
+        // sets with heavy conflict pressure.
+        for (seed, cfg) in [
+            (1u64, CacheConfig::new(64, 16, 1)),
+            (2, CacheConfig::new(256, 16, 2)),
+            (3, CacheConfig::new(1024, 32, 4)),
+            (4, CacheConfig::paper_default()),
+        ] {
+            let mut dense = Cache::new(cfg);
+            let mut reference = ReferenceCache::new(cfg);
+            let mut rng = Rng::seed_from_u64(seed);
+            for step in 0..50_000u32 {
+                let addr = u64::from(rng.gen_range(0..8 * cfg.size()));
+                let domain = if rng.gen_range(0..4u32) == 0 {
+                    Domain::App
+                } else {
+                    Domain::Os
+                };
+                let got = dense.access_detailed(addr, domain);
+                let want = reference.access_detailed(addr, domain);
+                assert_eq!(got, want, "cfg {cfg} step {step} addr {addr:#x}");
+            }
+        }
     }
 }

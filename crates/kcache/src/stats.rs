@@ -22,6 +22,13 @@ impl MissStats {
         }
     }
 
+    /// Records `n` hits by `domain` in one step (the line-run fast path:
+    /// words 2..k of a just-touched cache line cannot miss).
+    pub fn record_hits(&mut self, domain: Domain, n: u64) {
+        self.accesses[domain.index()] += n;
+        self.hits[domain.index()] += n;
+    }
+
     /// Fetches issued by a domain.
     #[must_use]
     pub fn accesses(&self, domain: Domain) -> u64 {

@@ -123,6 +123,21 @@ impl Histogram {
         self.max
     }
 
+    /// Merges another histogram's samples into this one. Bucket counts
+    /// add, so merging per-shard histograms equals recording every sample
+    /// into one histogram (order never matters).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Condenses the histogram into the summary used by run reports.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
@@ -332,50 +347,88 @@ impl MetricRegistry {
         self.len() == 0
     }
 
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise, gauges overwrite (last write wins — callers
+    /// merging shards must fold them in a fixed order for deterministic
+    /// gauge values).
+    pub fn merge_from(&self, other: &MetricRegistry) {
+        let theirs = other.lock();
+        let mut inner = self.lock();
+        for (name, &value) in &theirs.counters {
+            if let Some(mine) = inner.counters.get_mut(name) {
+                *mine += value;
+            } else {
+                inner.counters.insert(name.clone(), value);
+            }
+        }
+        for (name, &value) in &theirs.gauges {
+            inner.gauges.insert(name.clone(), value);
+        }
+        for (name, hist) in &theirs.histograms {
+            if let Some(mine) = inner.histograms.get_mut(name) {
+                mine.merge(hist);
+            } else {
+                inner.histograms.insert(name.clone(), hist.clone());
+            }
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
         self.inner.lock().expect("metric registry poisoned")
     }
 }
 
+impl RegistryInner {
+    /// Counter bump without the per-call `String`: `entry(key.to_owned())`
+    /// allocates even when the counter exists, and probes sit on per-miss
+    /// hot paths, so the name is only owned on first touch.
+    fn bump(&mut self, name: &str, delta: u64) {
+        if let Some(mine) = self.counters.get_mut(name) {
+            *mine += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Histogram record with the same first-touch-only allocation.
+    fn sample(&mut self, name: &str, value: u64) {
+        if let Some(hist) = self.histograms.get_mut(name) {
+            hist.record(value);
+        } else {
+            let mut hist = Histogram::default();
+            hist.record(value);
+            self.histograms.insert(name.to_owned(), hist);
+        }
+    }
+}
+
 impl Probe for MetricRegistry {
     fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.lock();
-        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        self.lock().bump(name, delta);
     }
 
     fn gauge_set(&self, name: &str, value: f64) {
         let mut inner = self.lock();
-        inner.gauges.insert(name.to_owned(), value);
+        if let Some(mine) = inner.gauges.get_mut(name) {
+            *mine = value;
+        } else {
+            inner.gauges.insert(name.to_owned(), value);
+        }
     }
 
     fn histogram_record(&self, name: &str, value: u64) {
-        let mut inner = self.lock();
-        inner
-            .histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(value);
+        self.lock().sample(name, value);
     }
 }
 
 impl AttributionProbe for MetricRegistry {
     fn miss_attributed(&self, set: u32, class: AttrClass, evictor_known: bool) {
         let mut inner = self.lock();
-        *inner
-            .counters
-            .entry(class.metric_name().to_owned())
-            .or_insert(0) += 1;
+        inner.bump(class.metric_name(), 1);
         if evictor_known {
-            *inner
-                .counters
-                .entry("cache.attr.evictor_known".to_owned())
-                .or_insert(0) += 1;
+            inner.bump("cache.attr.evictor_known", 1);
         }
-        inner
-            .histograms
-            .entry("cache.attr.set".to_owned())
-            .or_default()
-            .record(u64::from(set));
+        inner.sample("cache.attr.set", u64::from(set));
     }
 }
 
@@ -515,6 +568,48 @@ mod tests {
             assert_eq!(class.index(), i);
             assert!(class.metric_name().ends_with(class.label()));
         }
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_all_samples() {
+        let (mut a, mut b, mut whole) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for v in [0u64, 1, 7, 100] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [3u64, 9000, 2] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn registry_merge_folds_shards_deterministically() {
+        let total = MetricRegistry::new();
+        let shard_a = MetricRegistry::new();
+        let shard_b = MetricRegistry::new();
+        shard_a.counter_add("cache.miss", 3);
+        shard_a.gauge_set("trace.call_depth_hwm", 5.0);
+        shard_a.histogram_record("trace.burst", 4);
+        shard_b.counter_add("cache.miss", 4);
+        shard_b.counter_add("cache.hit", 1);
+        shard_b.gauge_set("trace.call_depth_hwm", 7.0);
+        shard_b.histogram_record("trace.burst", 16);
+        total.merge_from(&shard_a);
+        total.merge_from(&shard_b);
+        assert_eq!(total.counter("cache.miss"), 7);
+        assert_eq!(total.counter("cache.hit"), 1);
+        // Gauges: last merged shard wins, so merge order fixes the value.
+        assert_eq!(total.gauge("trace.call_depth_hwm"), Some(7.0));
+        let h = total.histogram("trace.burst").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 20);
     }
 
     #[test]

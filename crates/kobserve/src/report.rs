@@ -62,9 +62,14 @@ impl RunReport {
         &self.name
     }
 
-    /// Copies all span totals from a recorder into the report.
+    /// Copies all span totals from a recorder into the report, sorted by
+    /// name. The recorder keeps first-recorded order, which depends on
+    /// thread interleaving under sharded execution; sorting makes the
+    /// report layout identical at any worker count.
     pub fn add_spans(&mut self, recorder: &Recorder) {
-        for t in recorder.totals() {
+        let mut totals = recorder.totals();
+        totals.sort_by(|a, b| a.name.cmp(&b.name));
+        for t in totals {
             self.spans.push(SpanEntry {
                 name: t.name,
                 secs: t.total.as_secs_f64(),
@@ -549,7 +554,9 @@ mod tests {
         assert_eq!(parsed, report);
         assert_eq!(parsed.metric_count(), 3);
         assert_eq!(parsed.section_field("fig12.shell", "OptS"), Some(0.021));
-        let trace_span = &parsed.spans()[0];
+        // Spans are name-sorted regardless of recording order.
+        assert_eq!(parsed.spans()[0].name, "layout.opt_s");
+        let trace_span = &parsed.spans()[1];
         assert_eq!(trace_span.name, "study.trace");
         assert_eq!(trace_span.count, 2);
         assert!((trace_span.secs - 0.150).abs() < 1e-9);

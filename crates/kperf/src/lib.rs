@@ -11,6 +11,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc;
+pub mod simbench;
+
 /// The simple machine model.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct ExecTimeModel {

@@ -1,0 +1,232 @@
+//! Throughput bench report for the simulation engine.
+//!
+//! The `bench_sim` driver (in `oslay-bench`) measures events/sec and an
+//! allocation-based peak-RSS proxy for Base vs OptS replay and writes the
+//! numbers to `BENCH_sim.json` at the repo root, so the engine's perf
+//! trajectory is tracked in-tree from PR 3 onward.
+//!
+//! The on-disk format *is* an `oslay_observe::RunReport` — one
+//! `bench.<case>` section per measured case plus a `bench.meta` section —
+//! so the existing report tooling (`diag --check-results`,
+//! `RunReport::compare`) works on it unchanged.
+
+use oslay_observe::RunReport;
+
+/// One measured replay configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCase {
+    /// Case label, e.g. `replay_base` or `stream_opt_s`.
+    pub name: String,
+    /// Cache accesses (instruction fetches) replayed.
+    pub events: u64,
+    /// Wall-clock seconds for the measured region.
+    pub secs: f64,
+    /// Allocator calls during the measured region (0 when the counting
+    /// allocator is not installed).
+    pub allocs: u64,
+    /// Bytes requested during the measured region.
+    pub alloc_bytes: u64,
+    /// Peak live heap bytes over the measured region (RSS proxy).
+    pub peak_bytes: u64,
+}
+
+impl BenchCase {
+    /// Replay throughput in events per second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full bench run: meta (scale, threads), the measured cases, and
+/// derived cross-case figures (e.g. parallel speedup).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// Scale label (`tiny`/`small`/`paper`).
+    pub scale: String,
+    /// Worker threads used for the sharded phases.
+    pub threads: u64,
+    /// Measured cases, in measurement order.
+    pub cases: Vec<BenchCase>,
+    /// Derived figures: `(name, value)`, e.g. `("parallel_speedup", 3.8)`.
+    pub derived: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for one bench run.
+    #[must_use]
+    pub fn new(scale: &str, threads: usize) -> Self {
+        Self {
+            scale: scale.to_owned(),
+            threads: threads as u64,
+            cases: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    /// Appends one measured case.
+    pub fn push_case(&mut self, case: BenchCase) {
+        self.cases.push(case);
+    }
+
+    /// Appends one derived cross-case figure.
+    pub fn push_derived(&mut self, name: &str, value: f64) {
+        self.derived.push((name.to_owned(), value));
+    }
+
+    /// Case throughput by name, if measured.
+    #[must_use]
+    pub fn events_per_sec(&self, name: &str) -> Option<f64> {
+        self.cases
+            .iter()
+            .find(|c| c.name == name)
+            .map(BenchCase::events_per_sec)
+    }
+
+    /// Renders the report as a [`RunReport`] named `bench_sim`.
+    #[must_use]
+    pub fn to_run_report(&self) -> RunReport {
+        let mut report = RunReport::new("bench_sim");
+        report.add_section(
+            "bench.meta",
+            [
+                ("threads".to_owned(), self.threads as f64),
+                ("cases".to_owned(), self.cases.len() as f64),
+            ],
+        );
+        for case in &self.cases {
+            report.add_section(
+                &format!("bench.{}", case.name),
+                [
+                    ("events".to_owned(), case.events as f64),
+                    ("secs".to_owned(), case.secs),
+                    ("events_per_sec".to_owned(), case.events_per_sec()),
+                    ("allocs".to_owned(), case.allocs as f64),
+                    ("alloc_bytes".to_owned(), case.alloc_bytes as f64),
+                    ("peak_bytes".to_owned(), case.peak_bytes as f64),
+                ],
+            );
+        }
+        if !self.derived.is_empty() {
+            report.add_section(
+                "bench.derived",
+                self.derived
+                    .iter()
+                    .map(|(name, value)| (name.clone(), *value)),
+            );
+        }
+        report
+    }
+
+    /// Serializes to the `BENCH_sim.json` text.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_run_report().to_json().to_json_pretty()
+    }
+
+    /// Writes `BENCH_sim.json` (or any path), creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from creating directories or writing.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Validates serialized `BENCH_sim.json` text: it must parse as a
+/// [`RunReport`] and carry at least one `bench.*` case section whose
+/// `events_per_sec` field is strictly positive.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn validate(text: &str) -> Result<(), String> {
+    let report = RunReport::from_json(text).map_err(|e| format!("not a RunReport: {e}"))?;
+    let case_sections: Vec<String> = report
+        .section_names()
+        .into_iter()
+        .filter(|n| n.starts_with("bench.") && *n != "bench.meta" && *n != "bench.derived")
+        .map(str::to_owned)
+        .collect();
+    if case_sections.is_empty() {
+        return Err("no bench.<case> sections".to_owned());
+    }
+    for name in &case_sections {
+        let eps = report
+            .section_field(name, "events_per_sec")
+            .ok_or_else(|| format!("section {name} lacks events_per_sec"))?;
+        if eps <= 0.0 {
+            return Err(format!("section {name} has non-positive throughput {eps}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("tiny", 2);
+        r.push_case(BenchCase {
+            name: "replay_base".to_owned(),
+            events: 10_000,
+            secs: 0.25,
+            allocs: 12,
+            alloc_bytes: 4096,
+            peak_bytes: 1 << 20,
+        });
+        r.push_derived("parallel_speedup", 1.9);
+        r
+    }
+
+    #[test]
+    fn throughput_is_events_over_secs() {
+        let r = sample();
+        assert_eq!(r.events_per_sec("replay_base"), Some(40_000.0));
+        assert_eq!(r.events_per_sec("missing"), None);
+    }
+
+    #[test]
+    fn round_trips_through_run_report_json() {
+        let r = sample();
+        let text = r.to_json();
+        validate(&text).expect("sample report validates");
+        let parsed = RunReport::from_json(&text).unwrap();
+        assert_eq!(
+            parsed.section_field("bench.replay_base", "events_per_sec"),
+            Some(40_000.0)
+        );
+        assert_eq!(parsed.section_field("bench.meta", "threads"), Some(2.0));
+        assert_eq!(
+            parsed.section_field("bench.derived", "parallel_speedup"),
+            Some(1.9)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_throughput_and_empty_reports() {
+        let mut r = BenchReport::new("tiny", 1);
+        assert!(validate(&r.to_json()).is_err(), "no case sections");
+        r.push_case(BenchCase {
+            name: "replay_base".to_owned(),
+            events: 0,
+            secs: 1.0,
+            allocs: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+        });
+        assert!(validate(&r.to_json()).is_err(), "zero throughput");
+        assert!(validate("{ not json").is_err());
+    }
+}

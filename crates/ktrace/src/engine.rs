@@ -13,7 +13,7 @@ use oslay_model::rng::Rng;
 use oslay_model::{BlockId, Domain, Program, SeedKind, Terminator};
 use oslay_observe::Probe;
 
-use crate::{Trace, TraceEvent, WorkloadSpec};
+use crate::{Trace, TraceEvent, TraceSink, WorkloadSpec};
 
 /// Engine tuning knobs.
 #[derive(Copy, Clone, Debug)]
@@ -167,16 +167,29 @@ impl<'a> Engine<'a> {
 
     /// Runs until at least `target_os_blocks` operating-system block events
     /// have been emitted, finishing the final invocation cleanly.
+    ///
+    /// Buffered compatibility shim over [`Engine::run_into`]: collects the
+    /// stream into a [`Trace`]. Streaming consumers that only need the
+    /// events once should pass their own sink to `run_into` instead and
+    /// skip the event vector entirely.
     pub fn run(&mut self, target_os_blocks: u64) -> Trace {
         let mut trace = Trace::default();
-        while trace.os_blocks() < target_os_blocks {
-            self.app_burst(&mut trace);
-            self.os_invocation(&mut trace);
+        self.run_into(target_os_blocks, &mut trace);
+        trace
+    }
+
+    /// Streaming run: generates the same event sequence as [`Engine::run`]
+    /// (bit-identical for a given seed) but hands each event to `sink` as
+    /// it is produced, so nothing is buffered.
+    pub fn run_into<S: TraceSink + ?Sized>(&mut self, target_os_blocks: u64, sink: &mut S) {
+        let mut os_blocks = 0u64;
+        while os_blocks < target_os_blocks {
+            self.app_burst(sink);
+            os_blocks += self.os_invocation(sink);
         }
         if let Some(probe) = &self.probe {
             probe.gauge_set("trace.call_depth_hwm", self.call_depth_hwm as f64);
         }
-        trace
     }
 
     /// Number of invocations cut short by the
@@ -187,10 +200,11 @@ impl<'a> Engine<'a> {
         self.truncated_invocations
     }
 
-    /// Executes one complete OS invocation into `trace`.
-    fn os_invocation(&mut self, trace: &mut Trace) {
+    /// Executes one complete OS invocation into `sink`; returns the number
+    /// of OS block events emitted.
+    fn os_invocation<S: TraceSink + ?Sized>(&mut self, sink: &mut S) -> u64 {
         let kind = self.sample_seed_kind();
-        trace.push(TraceEvent::OsEnter(kind));
+        sink.event(TraceEvent::OsEnter(kind));
         let entry = self
             .kernel
             .seed_block(kind)
@@ -198,7 +212,7 @@ impl<'a> Engine<'a> {
         let mut walk = Walk::at(entry);
         let mut steps = 0usize;
         while let Some(block) = walk.current {
-            trace.push(TraceEvent::Block {
+            sink.event(TraceEvent::Block {
                 id: block,
                 domain: Domain::Os,
             });
@@ -212,12 +226,13 @@ impl<'a> Engine<'a> {
         if let Some(probe) = &self.probe {
             probe.histogram_record("trace.invocation_len", steps as u64);
         }
-        trace.push(TraceEvent::OsExit);
+        sink.event(TraceEvent::OsExit);
+        steps as u64
     }
 
-    /// Executes one application burst into `trace` (no-op for OS-only
+    /// Executes one application burst into `sink` (no-op for OS-only
     /// workloads).
-    fn app_burst(&mut self, trace: &mut Trace) {
+    fn app_burst<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
         let Some(walk) = self.app_walk.as_mut() else {
             return;
         };
@@ -237,7 +252,7 @@ impl<'a> Engine<'a> {
                 walk.stack.clear();
                 continue;
             };
-            trace.push(TraceEvent::Block {
+            sink.event(TraceEvent::Block {
                 id: block,
                 domain: Domain::App,
             });
@@ -391,6 +406,23 @@ mod tests {
         assert_eq!(t1, t2);
         let t3 = Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(6)).run(3_000);
         assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn run_into_streams_the_same_events_as_run() {
+        struct Collect(Vec<TraceEvent>);
+        impl TraceSink for Collect {
+            fn event(&mut self, event: TraceEvent) {
+                self.0.push(event);
+            }
+        }
+        let (kernel, specs) = setup();
+        let buffered =
+            Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(5)).run(3_000);
+        let mut sink = Collect(Vec::new());
+        Engine::new(&kernel.program, None, &specs[3], EngineConfig::new(5))
+            .run_into(3_000, &mut sink);
+        assert_eq!(buffered.events(), sink.0.as_slice());
     }
 
     #[test]

@@ -24,6 +24,24 @@ pub enum TraceEvent {
     Mark(u32),
 }
 
+/// A consumer of trace events.
+///
+/// The engine's streaming path ([`crate::Engine::run_into`]) feeds events
+/// to a sink as they are generated, so paper-scale workloads never
+/// materialize the full event vector. [`Trace`] itself is a sink — the
+/// buffered [`crate::Engine::run`] path is just `run_into` with a `Trace`
+/// as the sink — and so is the cache replayer in `core`.
+pub trait TraceSink {
+    /// Receives the next event of the stream, in execution order.
+    fn event(&mut self, event: TraceEvent);
+}
+
+impl TraceSink for Trace {
+    fn event(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
 /// A complete block-level trace plus summary counters.
 ///
 /// Produced by [`crate::Engine::run`]. The event stream is the ground truth
