@@ -50,4 +50,37 @@ diff <(grep -v '"secs"' "$tmpdir/t1/results/all_experiments.json") \
      <(grep -v '"secs"' "$tmpdir/t2/results/all_experiments.json")
 rm -rf "$tmpdir"
 
+echo "== trace store gate: record -> verify -> replay reproducibility =="
+tmpdir="$(mktemp -d)"
+cargo run --release -q -p oslay-bench --bin trace -- \
+  record --scale tiny --threads 2 --dir "$tmpdir/archive" > /dev/null
+cargo run --release -q -p oslay-bench --bin trace -- \
+  verify --dir "$tmpdir/archive" --threads 2 > /dev/null
+# An archived replay must be byte-identical to a live one — stdout and
+# deterministic report both — at 1 and 2 workers.
+for t in 1 2; do
+  cargo run --release -q -p oslay-bench --bin trace -- \
+    replay --scale tiny --threads "$t" --dir "$tmpdir/archive" \
+    --out "$tmpdir/replay_archive_$t.json" > "$tmpdir/replay_archive_$t.txt" 2> /dev/null
+  cargo run --release -q -p oslay-bench --bin trace -- \
+    replay --scale tiny --threads "$t" --live \
+    --out "$tmpdir/replay_live_$t.json" > "$tmpdir/replay_live_$t.txt" 2> /dev/null
+done
+for v in archive_2 live_1 live_2; do
+  diff "$tmpdir/replay_archive_1.txt" "$tmpdir/replay_$v.txt"
+  diff "$tmpdir/replay_archive_1.json" "$tmpdir/replay_$v.json"
+done
+# A flipped payload byte must fail verification (and name the block).
+store="$tmpdir/archive/shell.otr"
+byte="$(od -An -tu1 -j1000 -N1 "$store" | tr -d ' ')"
+printf "$(printf '\\%03o' $(( byte ^ 255 )))" \
+  | dd of="$store" bs=1 seek=1000 conv=notrunc status=none
+if cargo run --release -q -p oslay-bench --bin trace -- \
+    verify --file "$store" 2> "$tmpdir/verify_err.txt"; then
+  echo "corrupted store passed verification" >&2
+  exit 1
+fi
+grep -q "corrupt block" "$tmpdir/verify_err.txt"
+rm -rf "$tmpdir"
+
 echo "CI OK"

@@ -12,6 +12,10 @@
 //! - `stream_base` / `stream_opt_s`: streaming replay — the trace engine
 //!   feeds the replayer directly, no event vector.
 //! - `attr_base`: attributed replay (shadow-store path).
+//! - `trace_encode` / `trace_decode`: the `oslay-tracestore` codec over
+//!   an in-memory buffer — Shell's stream compressed to the on-disk
+//!   format and decoded back; the achieved `trace_compression_ratio` and
+//!   `trace_bytes_per_event` land in the derived section.
 //! - `matrix_1t` / `matrix_nt`: the Figure-12 style 4-case × 5-level
 //!   simulation matrix at 1 vs `--threads` workers; their ratio is the
 //!   `parallel_speedup` derived field.
@@ -24,10 +28,11 @@ use std::time::Instant;
 
 use oslay::cache::{Cache, CacheConfig};
 use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
-use oslay_bench::{run_figure12_matrix, scale_name};
+use oslay_bench::{run_args_with, run_figure12_matrix, scale_name};
 use oslay_observe::MetricRegistry;
 use oslay_perf::alloc::{self, CountingAlloc};
 use oslay_perf::simbench::{validate, BenchCase, BenchReport};
+use oslay_tracestore::{CountingSink, TraceReader, TraceWriter};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -39,46 +44,30 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut out = Args {
-        config: StudyConfig::small(),
-        threads: std::thread::available_parallelism().map_or(1, usize::from),
-        out: std::path::PathBuf::from("BENCH_sim.json"),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let v = args.next().expect("--scale needs a value");
-                out.config = match v.as_str() {
-                    "tiny" => StudyConfig::tiny(),
-                    "small" => StudyConfig::small(),
-                    "paper" => StudyConfig::paper(),
-                    other => panic!("unknown scale {other:?} (tiny|small|paper)"),
-                };
-            }
-            "--blocks" => {
-                let v = args.next().expect("--blocks needs a value");
-                out.config.os_blocks = v.parse().expect("--blocks must be an integer");
-            }
-            "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                out.config.seed = v.parse().expect("--seed must be an integer");
-            }
-            "--threads" => {
-                let v = args.next().expect("--threads needs a value");
-                out.threads = v.parse().expect("--threads must be an integer");
-                assert!(out.threads >= 1, "--threads must be >= 1");
-            }
-            "--out" => out.out = args.next().expect("--out needs a path").into(),
-            "--smoke" => {
-                // CI smoke: a trace of ~1k OS blocks, single worker.
-                out.config = StudyConfig::tiny();
-                out.config.os_blocks = 1_000;
-            }
-            other => panic!("unknown argument {other:?}"),
+    let mut out = std::path::PathBuf::from("BENCH_sim.json");
+    let mut smoke = false;
+    let common = run_args_with(StudyConfig::small(), |arg, rest| match arg {
+        "--out" => {
+            out = rest.pop_front().expect("--out needs a path").into();
+            true
         }
+        "--smoke" => {
+            smoke = true;
+            true
+        }
+        _ => false,
+    });
+    let mut args = Args {
+        config: common.config,
+        threads: common.threads,
+        out,
+    };
+    if smoke {
+        // CI smoke: a trace of ~1k OS blocks (overrides --scale/--blocks).
+        args.config = StudyConfig::tiny();
+        args.config.os_blocks = 1_000;
     }
-    out
+    args
 }
 
 /// Times `f`, bracketing it with allocator snapshots, and returns the
@@ -175,6 +164,32 @@ fn main() {
         r.stats.total_accesses()
     }));
 
+    // The tracestore codec, isolated from disk: encode Shell's stream
+    // into an in-memory store, then decode it back. The summary's
+    // compression figures are recorded as derived fields (and gated
+    // against the 3x floor by the report validator).
+    let mut encoded: Vec<u8> = Vec::new();
+    let mut store_summary = None;
+    report.push_case(measure("trace_encode", || {
+        let mut writer = TraceWriter::new(Vec::new()).expect("in-memory store header");
+        study.stream_case(shell, &mut writer);
+        let (buf, summary) = writer.finish().expect("in-memory store finish");
+        encoded = buf;
+        store_summary = Some(summary);
+        summary.totals.events
+    }));
+    report.push_case(measure("trace_decode", || {
+        let mut reader =
+            TraceReader::new(std::io::Cursor::new(&encoded)).expect("open in-memory store");
+        let mut sink = CountingSink::default();
+        reader
+            .replay_into(&mut sink)
+            .expect("decode archived stream")
+    }));
+    let store_summary = store_summary.expect("encode case ran");
+    report.push_derived("trace_compression_ratio", store_summary.compression_ratio());
+    report.push_derived("trace_bytes_per_event", store_summary.bytes_per_event());
+
     // The sharded experiment matrix at one worker vs the requested count.
     let one = measure("matrix_1t", || run_matrix(&study, &sim, 1));
     let many = measure(&format!("matrix_{}t", args.threads), || {
@@ -210,6 +225,11 @@ fn main() {
     println!(
         "parallel speedup at {} thread(s): {:.2}x",
         args.threads, speedup
+    );
+    println!(
+        "trace store: {:.2}x over fixed-width ({:.2} B/event)",
+        store_summary.compression_ratio(),
+        store_summary.bytes_per_event()
     );
     println!("Bench report: {}", args.out.display());
 }

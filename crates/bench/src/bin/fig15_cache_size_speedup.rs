@@ -8,43 +8,67 @@
 //! C-H at 32 KB (the cache then holds the working set); with a 30-cycle
 //! penalty the speedups are in the 10–25% range, peaking at 8 KB.
 
+use std::sync::Arc;
+
 use oslay::analysis::report::{f, pct, TextTable};
 use oslay::cache::CacheConfig;
 use oslay::perf::ExecTimeModel;
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args, run_case_probed, AppSide, Reporter};
+use oslay_bench::{banner, run_args, run_sweep, AppSide, Reporter, SweepPoint};
 
 fn main() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner("Figure 15: miss rate vs cache size; speedup model", &config);
     let mut reporter = Reporter::new("fig15_cache_size_speedup");
     let registry = reporter.registry();
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
     let sizes = [4096u32, 8192, 16384, 32768];
+    let kinds = [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+    ];
+
+    // One memoized OS layout per (kind, size); building a layout costs
+    // far more than replaying through it.
+    let layouts: Vec<((OsLayoutKind, u32), Arc<oslay_layout::Layout>)> = sizes
+        .iter()
+        .flat_map(|&size| kinds.map(|kind| (kind, size)))
+        .map(|key| (key, Arc::new(study.os_layout(key.0, key.1).layout)))
+        .collect();
+    let layout_for = |kind, size| {
+        Arc::clone(
+            &layouts
+                .iter()
+                .find(|&&(k, _)| k == (kind, size))
+                .expect("every (kind, size) is memoized")
+                .1,
+        )
+    };
+    let mut points = Vec::new();
+    for &size in &sizes {
+        let cfg = CacheConfig::new(size, 32, 1);
+        for wi in 0..study.cases().len() {
+            for kind in kinds {
+                points.push(SweepPoint {
+                    case: wi,
+                    os: layout_for(kind, size),
+                    app: AppSide::Base,
+                    cache: cfg,
+                });
+            }
+        }
+    }
+    let results = run_sweep(&study, points, &SimConfig::fast(), args.threads, &registry);
 
     // miss_rate[size][workload][layout]
     let mut rates = vec![vec![[0.0f64; 3]; study.cases().len()]; sizes.len()];
+    let mut results = results.into_iter();
     for (si, &size) in sizes.iter().enumerate() {
-        let cfg = CacheConfig::new(size, 32, 1);
         for (wi, case) in study.cases().iter().enumerate() {
-            for (li, kind) in [
-                OsLayoutKind::Base,
-                OsLayoutKind::ChangHwu,
-                OsLayoutKind::OptS,
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let r = run_case_probed(
-                    &study,
-                    case,
-                    kind,
-                    AppSide::Base,
-                    cfg,
-                    &SimConfig::fast(),
-                    &registry,
-                );
-                rates[si][wi][li] = r.miss_rate();
+            for slot in rates[si][wi].iter_mut() {
+                *slot = results.next().expect("one result per point").miss_rate();
             }
             let [b, ch, opt] = rates[si][wi];
             reporter.add_section(

@@ -8,15 +8,19 @@
 //! cache the smaller 3.0% one; paper SCF sizes: 0 / 376 / 1286 / 2514
 //! bytes.
 
+use std::sync::Arc;
+
 use oslay::analysis::report::TextTable;
-use oslay::cache::{Cache, CacheConfig};
+use oslay::cache::CacheConfig;
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args};
+use oslay_bench::{banner, run_args, run_sweep, AppSide, SweepPoint};
+use oslay_observe::MetricRegistry;
 
 fn main() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner("Figure 16: SelfConfFree-area size sweep", &config);
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
     // The paper's 3.0% / 2.0% / 1.0% frequency cut-offs correspond to
     // SelfConfFree areas of 376 / 1286 / 2514 bytes on its kernel; the
     // sweep uses those byte budgets directly.
@@ -26,51 +30,58 @@ fn main() {
         ("2.0%", Some(1286)),
         ("1.0%", Some(2514)),
     ];
+    let sizes = [4096u32, 8192, 16384];
 
-    for &size in &[4096u32, 8192, 16384] {
+    // Memoize per cache size: the Base layout plus one OptS layout per
+    // SCF cut-off, then fan every (case x layout) replay out as one
+    // sweep. This binary keeps no run report, so the sweep's registry is
+    // a throwaway.
+    let mut points = Vec::new();
+    let mut scf_notes = Vec::new();
+    for &size in &sizes {
+        let base = Arc::new(study.os_layout(OsLayoutKind::Base, size).layout);
+        let mut layouts = vec![Arc::clone(&base)];
+        let mut scf_bytes = Vec::new();
+        for &(_, cutoff) in &cutoffs {
+            let l = study.os_opt_s_with_scf(size, cutoff);
+            scf_bytes.push(l.scf_bytes);
+            layouts.push(Arc::new(l.layout));
+        }
+        scf_notes.push(scf_bytes);
+        for wi in 0..study.cases().len() {
+            for os in &layouts {
+                points.push(SweepPoint {
+                    case: wi,
+                    os: Arc::clone(os),
+                    app: AppSide::Base,
+                    cache: CacheConfig::new(size, 32, 1),
+                });
+            }
+        }
+    }
+    let registry = Arc::new(MetricRegistry::new());
+    let results = run_sweep(&study, points, &SimConfig::fast(), args.threads, &registry);
+
+    let mut results = results.into_iter();
+    for (si, &size) in sizes.iter().enumerate() {
         println!("{}KB cache:", size / 1024);
-        // Report the SCF sizes once per cache size.
-        let scf_sizes: Vec<String> = cutoffs
-            .iter()
-            .map(|&(_, c)| {
-                let l = study.os_opt_s_with_scf(size, c);
-                format!("{}B", l.scf_bytes)
-            })
-            .collect();
+        let scf = &scf_notes[si];
         println!(
-            "  SCF area bytes: None={} 3%={} 2%={} 1%={}  (paper: 0/376/1286/2514)",
-            scf_sizes[0], scf_sizes[1], scf_sizes[2], scf_sizes[3]
+            "  SCF area bytes: None={}B 3%={}B 2%={}B 1%={}B  (paper: 0/376/1286/2514)",
+            scf[0], scf[1], scf[2], scf[3]
         );
         let mut table = TextTable::new(["Workload", "Base", "None", "3.0%", "2.0%", "1.0%"]);
         for case in study.cases() {
-            let app = study.app_base_layout(case);
-            let mut cells = vec![case.name().to_owned()];
-            let base = {
-                let os = study.os_layout(OsLayoutKind::Base, size);
-                let mut cache = Cache::new(CacheConfig::new(size, 32, 1));
-                study
-                    .simulate(
-                        case,
-                        &os.layout,
-                        app.as_ref(),
-                        &mut cache,
-                        &SimConfig::fast(),
-                    )
-                    .stats
-                    .total_misses()
-            };
-            cells.push("100.0".into());
-            for &(_, cutoff) in &cutoffs {
-                let os = study.os_opt_s_with_scf(size, cutoff);
-                let mut cache = Cache::new(CacheConfig::new(size, 32, 1));
-                let misses = study
-                    .simulate(
-                        case,
-                        &os.layout,
-                        app.as_ref(),
-                        &mut cache,
-                        &SimConfig::fast(),
-                    )
+            let base = results
+                .next()
+                .expect("one result per point")
+                .stats
+                .total_misses();
+            let mut cells = vec![case.name().to_owned(), "100.0".into()];
+            for _ in &cutoffs {
+                let misses = results
+                    .next()
+                    .expect("one result per point")
                     .stats
                     .total_misses();
                 cells.push(format!("{:.1}", misses as f64 / base as f64 * 100.0));

@@ -9,21 +9,52 @@
 //! of the same conflicts: 55% at direct-mapped, 41% at 8-way) — yet
 //! direct-mapped OptS still beats 8-way Base.
 
+use std::sync::Arc;
+
 use oslay::analysis::report::{pct, TextTable};
 use oslay::cache::CacheConfig;
 use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, config_from_args, run_case, AppSide};
+use oslay_bench::{banner, run_args, run_sweep, AppSide, SweepPoint};
+use oslay_layout::Layout;
+use oslay_observe::MetricRegistry;
 
-fn sweep(study: &Study, configs: &[(String, CacheConfig)]) {
+const KINDS: [OsLayoutKind; 3] = [
+    OsLayoutKind::Base,
+    OsLayoutKind::ChangHwu,
+    OsLayoutKind::OptS,
+];
+
+fn sweep(study: &Study, configs: &[(String, CacheConfig)], threads: usize) {
+    // Every config here keeps the same 8 KB capacity, so one memoized
+    // layout per kind serves the whole grid.
+    let layouts: Vec<Arc<Layout>> = KINDS
+        .iter()
+        .map(|&kind| Arc::new(study.os_layout(kind, configs[0].1.size()).layout))
+        .collect();
+    let mut points = Vec::new();
+    for wi in 0..study.cases().len() {
+        for (_, cfg) in configs {
+            for os in &layouts {
+                points.push(SweepPoint {
+                    case: wi,
+                    os: Arc::clone(os),
+                    app: AppSide::Base,
+                    cache: *cfg,
+                });
+            }
+        }
+    }
+    let registry = Arc::new(MetricRegistry::new());
+    let results = run_sweep(study, points, &SimConfig::fast(), threads, &registry);
+
+    let mut results = results.into_iter();
     let mut table = TextTable::new(["Workload/config", "Base", "C-H", "OptS", "OptS/Base"]);
     for case in study.cases() {
-        for (label, cfg) in configs {
-            let rate = |kind| {
-                run_case(study, case, kind, AppSide::Base, *cfg, &SimConfig::fast()).miss_rate()
-            };
-            let b = rate(OsLayoutKind::Base);
-            let ch = rate(OsLayoutKind::ChangHwu);
-            let o = rate(OsLayoutKind::OptS);
+        for (label, _) in configs {
+            let mut rate = || results.next().expect("one result per point").miss_rate();
+            let b = rate();
+            let ch = rate();
+            let o = rate();
             table.row([
                 format!("{} {label}", case.name()),
                 pct(b),
@@ -37,19 +68,20 @@ fn sweep(study: &Study, configs: &[(String, CacheConfig)]) {
 }
 
 fn main() {
-    let config = config_from_args();
+    let args = run_args();
+    let config = args.config;
     banner(
         "Figure 17: line-size and associativity sweeps (8KB)",
         &config,
     );
-    let study = Study::generate(&config);
+    let study = Study::generate_with_threads(&config, args.threads);
 
     println!("(a) Line size (direct-mapped):");
     let lines: Vec<(String, CacheConfig)> = [16u32, 32, 64, 128]
         .iter()
         .map(|&l| (format!("{l}B-line"), CacheConfig::new(8192, l, 1)))
         .collect();
-    sweep(&study, &lines);
+    sweep(&study, &lines, args.threads);
     println!();
 
     println!("(b) Associativity (32B lines):");
@@ -57,5 +89,5 @@ fn main() {
         .iter()
         .map(|&w| (format!("{w}-way"), CacheConfig::new(8192, 32, w)))
         .collect();
-    sweep(&study, &ways);
+    sweep(&study, &ways, args.threads);
 }

@@ -46,53 +46,38 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut out = Args {
-        config: StudyConfig::paper(),
-        threads: oslay::exec::default_threads(),
-        compare: None,
-        case: "Shell".to_owned(),
-        check_results: false,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let v = args.next().expect("--scale needs a value");
-                out.config = match v.as_str() {
-                    "tiny" => StudyConfig::tiny(),
-                    "small" => StudyConfig::small(),
-                    "paper" => StudyConfig::paper(),
-                    other => panic!("unknown scale {other:?} (tiny|small|paper)"),
-                };
-            }
-            "--blocks" => {
-                let v = args.next().expect("--blocks needs a value");
-                out.config.os_blocks = v.parse().expect("--blocks must be an integer");
-            }
-            "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                out.config.seed = v.parse().expect("--seed must be an integer");
-            }
-            "--threads" => {
-                let v = args.next().expect("--threads needs a value");
-                out.threads = v.parse().expect("--threads must be an integer");
-            }
-            "--compare" => {
-                let a = args.next().expect("--compare needs two layout names");
-                let b = args.next().expect("--compare needs two layout names");
-                out.compare = Some((
-                    parse_kind(&a),
-                    parse_kind(&b),
-                    a.to_ascii_lowercase(),
-                    b.to_ascii_lowercase(),
-                ));
-            }
-            "--case" => out.case = args.next().expect("--case needs a workload name"),
-            "--check-results" => out.check_results = true,
-            other => panic!("unknown argument {other:?}"),
+    let mut compare = None;
+    let mut case = "Shell".to_owned();
+    let mut check_results = false;
+    let common = crate::run_args_with(StudyConfig::paper(), |arg, rest| match arg {
+        "--compare" => {
+            let a = rest.pop_front().expect("--compare needs two layout names");
+            let b = rest.pop_front().expect("--compare needs two layout names");
+            compare = Some((
+                parse_kind(&a),
+                parse_kind(&b),
+                a.to_ascii_lowercase(),
+                b.to_ascii_lowercase(),
+            ));
+            true
         }
+        "--case" => {
+            case = rest.pop_front().expect("--case needs a workload name");
+            true
+        }
+        "--check-results" => {
+            check_results = true;
+            true
+        }
+        _ => false,
+    });
+    Args {
+        config: common.config,
+        threads: common.threads,
+        compare,
+        case,
+        check_results,
     }
-    out
 }
 
 /// Human label of a code reference: routine name (for OS code), block id,

@@ -12,9 +12,11 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod diag;
 pub mod digest;
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -46,15 +48,46 @@ pub struct RunArgs {
 /// `--scale small` for speed.
 #[must_use]
 pub fn run_args() -> RunArgs {
+    run_args_with(StudyConfig::paper(), |_, _| false)
+}
+
+/// Like [`run_args`], but with a caller-chosen default configuration and
+/// an `extra` handler for driver-specific arguments.
+///
+/// `extra` receives each token the common parser does not recognize plus
+/// the remaining argument queue (pop values off the front); returning
+/// `false` rejects the token with the standard panic. This is the one
+/// place command lines are parsed — `bench_sim`, `diag`, and the `trace`
+/// store tool all layer their flags on top of it rather than re-rolling
+/// `--scale`/`--threads` handling.
+#[must_use]
+pub fn run_args_with<F>(default: StudyConfig, extra: F) -> RunArgs
+where
+    F: FnMut(&str, &mut VecDeque<String>) -> bool,
+{
+    parse_run_args(std::env::args().skip(1).collect(), default, extra)
+}
+
+/// The testable core of [`run_args_with`]: parses an explicit argument
+/// queue instead of the process command line.
+///
+/// # Panics
+///
+/// Panics on an unknown argument (one `extra` rejects), a flag missing
+/// its value, or a malformed value.
+#[must_use]
+pub fn parse_run_args<F>(mut argv: VecDeque<String>, default: StudyConfig, mut extra: F) -> RunArgs
+where
+    F: FnMut(&str, &mut VecDeque<String>) -> bool,
+{
     let mut out = RunArgs {
-        config: StudyConfig::paper(),
+        config: default,
         threads: oslay::exec::default_threads(),
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    while let Some(arg) = argv.pop_front() {
         match arg.as_str() {
             "--scale" => {
-                let v = args.next().expect("--scale needs a value");
+                let v = argv.pop_front().expect("--scale needs a value");
                 out.config = match v.as_str() {
                     "tiny" => StudyConfig::tiny(),
                     "small" => StudyConfig::small(),
@@ -63,19 +96,21 @@ pub fn run_args() -> RunArgs {
                 };
             }
             "--blocks" => {
-                let v = args.next().expect("--blocks needs a value");
+                let v = argv.pop_front().expect("--blocks needs a value");
                 out.config.os_blocks = v.parse().expect("--blocks must be an integer");
             }
             "--seed" => {
-                let v = args.next().expect("--seed needs a value");
+                let v = argv.pop_front().expect("--seed needs a value");
                 out.config.seed = v.parse().expect("--seed must be an integer");
             }
             "--threads" => {
-                let v = args.next().expect("--threads needs a value");
+                let v = argv.pop_front().expect("--threads needs a value");
                 out.threads = v.parse().expect("--threads must be an integer");
                 assert!(out.threads >= 1, "--threads must be >= 1");
             }
-            other => panic!("unknown argument {other:?}"),
+            other => {
+                assert!(extra(other, &mut argv), "unknown argument {other:?}");
+            }
         }
     }
     out
@@ -333,6 +368,56 @@ pub fn run_figure12_matrix(
         results.push(row);
     }
     results
+}
+
+/// One evaluation point of a parameter sweep: a workload replayed under
+/// an explicit (possibly custom) OS layout and cache organization.
+///
+/// The sweep binaries (Figures 15–17) build their full point grids up
+/// front — memoizing each distinct layout in an [`Arc`] — and hand them
+/// to [`run_sweep`], which shards the replays exactly like
+/// [`run_figure12_matrix`].
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Index into [`Study::cases`].
+    pub case: usize,
+    /// The OS layout to replay under (memoized by the caller; sweeps
+    /// share one layout across many points).
+    pub os: Arc<Layout>,
+    /// Which application layout to pair with it.
+    pub app: AppSide,
+    /// The cache organization for this point.
+    pub cache: CacheConfig,
+}
+
+/// Replays every sweep point over up to `threads` workers, returning one
+/// [`SimResult`] per point, in point order.
+///
+/// Same sharding contract as [`run_figure12_matrix`]: every job records
+/// into a private registry and the shards fold into `registry` in point
+/// order, so the registry state — and therefore the run report — is
+/// byte-identical at any worker count.
+#[must_use]
+pub fn run_sweep(
+    study: &Study,
+    points: Vec<SweepPoint>,
+    sim: &SimConfig,
+    threads: usize,
+    registry: &Arc<MetricRegistry>,
+) -> Vec<SimResult> {
+    let sharded = oslay::exec::parallel_map(threads, points, |_, p| {
+        let case = &study.cases()[p.case];
+        let app = app_layout_for(study, case, p.app, p.cache.size());
+        let shard = Arc::new(MetricRegistry::new());
+        let r = run_probed_on(study, case, &p.os, app.as_ref(), p.cache, sim, &shard);
+        (r, shard)
+    });
+    let mut out = Vec::with_capacity(sharded.len());
+    for (r, shard) in sharded {
+        registry.merge_from(&shard);
+        out.push(r);
+    }
+    out
 }
 
 /// Runs every workload under every OS layout kind in `kinds` through the

@@ -1,0 +1,67 @@
+//! Archived re-replay must be bit-exact: the Figure-12 matrix computed
+//! from recorded `.otr` stores has to match the live matrix — results and
+//! metric registry both — at any worker count.
+
+use std::sync::Arc;
+
+use oslay::cache::CacheConfig;
+use oslay::{SimConfig, Study, StudyConfig};
+use oslay_bench::archive::{archive_file_name, record_archive, run_archived_figure12_matrix};
+use oslay_bench::run_figure12_matrix;
+use oslay_observe::{MetricRegistry, RunReport};
+
+/// Serializes a registry's full contents (counters, gauges, histograms)
+/// deterministically, for whole-registry equality checks.
+fn registry_fingerprint(registry: &MetricRegistry) -> String {
+    let mut report = RunReport::new("fingerprint");
+    report.add_metrics(registry);
+    report.to_json_deterministic().to_json_pretty()
+}
+
+#[test]
+fn archived_matrix_matches_live_at_one_and_two_workers() {
+    let mut config = StudyConfig::tiny();
+    config.os_blocks = 6_000;
+    let study = Study::generate(&config);
+    let dir = std::env::temp_dir().join(format!("oslay_archive_eq_{}", std::process::id()));
+    let recorded = record_archive(&study, &dir, 2).expect("record archive");
+    assert_eq!(recorded.len(), study.cases().len());
+    for ((file, summary), case) in recorded.iter().zip(study.cases()) {
+        assert_eq!(file, &archive_file_name(case));
+        assert!(
+            summary.compression_ratio() >= 3.0,
+            "{file}: ratio {:.2} below the 3x floor",
+            summary.compression_ratio()
+        );
+    }
+
+    let cache = CacheConfig::paper_default();
+    let sim = SimConfig::fast();
+    let live_registry = Arc::new(MetricRegistry::new());
+    let live = run_figure12_matrix(&study, cache, &sim, 1, &live_registry);
+    let live_fingerprint = registry_fingerprint(&live_registry);
+
+    for threads in [1, 2] {
+        let registry = Arc::new(MetricRegistry::new());
+        let archived = run_archived_figure12_matrix(&study, &dir, cache, &sim, threads, &registry)
+            .expect("archived replay");
+        for (case, (archived_row, live_row)) in study.cases().iter().zip(archived.iter().zip(&live))
+        {
+            for (a, l) in archived_row.iter().zip(live_row) {
+                assert_eq!(
+                    a.stats,
+                    l.stats,
+                    "archived stats diverge for {} at {threads} workers",
+                    case.name()
+                );
+            }
+        }
+        assert_eq!(
+            registry_fingerprint(&registry),
+            live_fingerprint,
+            "registry diverges at {threads} workers"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).expect("clean temp dir");
+}

@@ -306,14 +306,37 @@ impl Study {
         let (os_blocks, app_blocks) = self.replayer_sizes(case);
         let mut replayer =
             Replayer::new(os_layout, app_layout, cache, config, os_blocks, app_blocks);
-        let mut engine = oslay_trace::Engine::new(
-            &self.kernel().program,
-            case.app.as_ref(),
-            &case.spec,
-            oslay_trace::EngineConfig::new(case.engine_seed),
-        );
-        engine.run_into(self.config().os_blocks, &mut replayer);
+        self.stream_case(case, &mut replayer);
         replayer.finish()
+    }
+
+    /// Like [`Study::replay_streaming`], but replays an *archived* event
+    /// stream (an `oslay-tracestore` reader, a buffered trace — any
+    /// [`oslay_trace::TraceSink`] feeder) instead of regenerating the
+    /// walk. The caller drives the replayer through the returned handle
+    /// and finishes it for the result; see `oslay-bench`'s archived
+    /// matrix drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload traces an application but `app_layout` is
+    /// `None`.
+    #[must_use]
+    pub fn replayer_for<'a, C: InstructionCache + ?Sized>(
+        &self,
+        case: &WorkloadCase,
+        os_layout: &'a Layout,
+        app_layout: Option<&'a Layout>,
+        cache: &'a mut C,
+        config: &SimConfig,
+    ) -> Replayer<'a, C> {
+        assert!(
+            case.app.is_none() || app_layout.is_some(),
+            "workload {} traces an application: supply its layout",
+            case.name()
+        );
+        let (os_blocks, app_blocks) = self.replayer_sizes(case);
+        Replayer::new(os_layout, app_layout, cache, config, os_blocks, app_blocks)
     }
 }
 

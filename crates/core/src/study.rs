@@ -354,6 +354,28 @@ impl Study {
         }
     }
 
+    /// Regenerates `case`'s trace from its recorded engine seed and
+    /// streams every event into `sink`, in execution order.
+    ///
+    /// This is the one source of truth for a case's event stream: the
+    /// streaming replay path drives a cache replayer with it, and the
+    /// trace archiver (`oslay-tracestore`) tees it to disk. Bit-identical
+    /// to the buffered `case.trace` events because the engine's walk is
+    /// deterministic in the seed.
+    pub fn stream_case<S: oslay_trace::TraceSink + ?Sized>(
+        &self,
+        case: &WorkloadCase,
+        sink: &mut S,
+    ) {
+        let mut engine = Engine::new(
+            &self.kernel.program,
+            case.app.as_ref(),
+            &case.spec,
+            EngineConfig::new(case.engine_seed),
+        );
+        engine.run_into(self.config.os_blocks, sink);
+    }
+
     /// The unoptimized application layout for a case (if it has an app).
     #[must_use]
     pub fn app_base_layout(&self, case: &WorkloadCase) -> Option<Layout> {

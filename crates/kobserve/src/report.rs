@@ -238,6 +238,37 @@ impl RunReport {
         ])
     }
 
+    /// Serializes the report to a JSON value with every wall-clock field
+    /// removed: span entries keep their name and count but drop `secs`.
+    ///
+    /// Two runs of a deterministic experiment produce byte-identical
+    /// output from this serialization (timing is the only field that
+    /// varies run to run), so it is what reproducibility gates diff —
+    /// `ci.sh` compares archived-replay reports against live ones with
+    /// it, at several worker counts.
+    #[must_use]
+    pub fn to_json_deterministic(&self) -> JsonValue {
+        let mut v = self.to_json();
+        if let JsonValue::Object(members) = &mut v {
+            for (key, val) in members.iter_mut() {
+                if key == "spans" {
+                    *val = JsonValue::Array(
+                        self.spans
+                            .iter()
+                            .map(|s| {
+                                JsonValue::object([
+                                    ("name".to_owned(), JsonValue::Str(s.name.clone())),
+                                    ("count".to_owned(), JsonValue::Num(s.count as f64)),
+                                ])
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        v
+    }
+
     /// Parses a report back from its JSON text.
     ///
     /// # Errors
@@ -587,6 +618,28 @@ mod tests {
             assert_eq!(RunReport::from_json(line).unwrap(), report);
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deterministic_json_drops_secs_but_keeps_counts() {
+        let recorder = Recorder::new();
+        recorder.record("study.trace", std::time::Duration::from_millis(7));
+        let mut report = RunReport::new("r");
+        report.add_spans(&recorder);
+        report.add_section("fig12.shell", [("Base", 0.071)]);
+        let text = report.to_json_deterministic().to_json_pretty();
+        assert!(!text.contains("secs"));
+        assert!(text.contains("\"count\""));
+        assert!(text.contains("study.trace"));
+        assert!(text.contains("fig12.shell"));
+
+        // Identical content with different timings serializes identically.
+        let recorder2 = Recorder::new();
+        recorder2.record("study.trace", std::time::Duration::from_millis(900));
+        let mut report2 = RunReport::new("r");
+        report2.add_spans(&recorder2);
+        report2.add_section("fig12.shell", [("Base", 0.071)]);
+        assert_eq!(text, report2.to_json_deterministic().to_json_pretty());
     }
 
     #[test]

@@ -143,9 +143,16 @@ impl BenchReport {
     }
 }
 
+/// The minimum acceptable trace-store compression ratio over the
+/// fixed-width reference encoding. Reports that carry a
+/// `trace_compression_ratio` derived field are gated against it.
+pub const MIN_TRACE_COMPRESSION_RATIO: f64 = 3.0;
+
 /// Validates serialized `BENCH_sim.json` text: it must parse as a
 /// [`RunReport`] and carry at least one `bench.*` case section whose
-/// `events_per_sec` field is strictly positive.
+/// `events_per_sec` field is strictly positive. When the derived section
+/// records a `trace_compression_ratio`, it must meet
+/// [`MIN_TRACE_COMPRESSION_RATIO`].
 ///
 /// # Errors
 ///
@@ -167,6 +174,13 @@ pub fn validate(text: &str) -> Result<(), String> {
             .ok_or_else(|| format!("section {name} lacks events_per_sec"))?;
         if eps <= 0.0 {
             return Err(format!("section {name} has non-positive throughput {eps}"));
+        }
+    }
+    if let Some(ratio) = report.section_field("bench.derived", "trace_compression_ratio") {
+        if ratio < MIN_TRACE_COMPRESSION_RATIO {
+            return Err(format!(
+                "trace_compression_ratio {ratio:.2} below the {MIN_TRACE_COMPRESSION_RATIO}x floor"
+            ));
         }
     }
     Ok(())
@@ -228,5 +242,16 @@ mod tests {
         });
         assert!(validate(&r.to_json()).is_err(), "zero throughput");
         assert!(validate("{ not json").is_err());
+    }
+
+    #[test]
+    fn validate_gates_trace_compression_ratio() {
+        let mut r = sample();
+        r.push_derived("trace_compression_ratio", 4.4);
+        validate(&r.to_json()).expect("ratio above the floor passes");
+        let mut r = sample();
+        r.push_derived("trace_compression_ratio", 2.1);
+        let err = validate(&r.to_json()).expect_err("ratio below the floor fails");
+        assert!(err.contains("trace_compression_ratio"), "{err}");
     }
 }

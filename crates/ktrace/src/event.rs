@@ -42,6 +42,34 @@ impl TraceSink for Trace {
     }
 }
 
+/// Fans one event stream out to two sinks, in order: `first` sees each
+/// event before `second`.
+///
+/// This is how a live run is archived while it simulates: the trace
+/// engine drives a `TeeSink` whose arms are an `oslay-tracestore` writer
+/// and the cache replayer, so the persisted file and the live result are
+/// produced from the *same* walk — there is no second traversal to
+/// diverge.
+#[derive(Debug)]
+pub struct TeeSink<'a, A: TraceSink + ?Sized, B: TraceSink + ?Sized> {
+    first: &'a mut A,
+    second: &'a mut B,
+}
+
+impl<'a, A: TraceSink + ?Sized, B: TraceSink + ?Sized> TeeSink<'a, A, B> {
+    /// Tees events to `first` then `second`.
+    pub fn new(first: &'a mut A, second: &'a mut B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: TraceSink + ?Sized, B: TraceSink + ?Sized> TraceSink for TeeSink<'_, A, B> {
+    fn event(&mut self, event: TraceEvent) {
+        self.first.event(event);
+        self.second.event(event);
+    }
+}
+
 /// A complete block-level trace plus summary counters.
 ///
 /// Produced by [`crate::Engine::run`]. The event stream is the ground truth
@@ -233,6 +261,23 @@ mod tests {
         t.push(TraceEvent::OsExit);
         assert_eq!(t.invocation_lengths(), vec![2, 1]);
         assert!((t.mean_invocation_length() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tee_sink_duplicates_the_stream() {
+        let mut a = Trace::default();
+        let mut b = Trace::default();
+        {
+            let mut tee = TeeSink::new(&mut a, &mut b);
+            tee.event(TraceEvent::OsEnter(SeedKind::SysCall));
+            tee.event(TraceEvent::Block {
+                id: BlockId::new(1),
+                domain: Domain::Os,
+            });
+            tee.event(TraceEvent::OsExit);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Compressed on-disk trace store for the `oslay` reproduction.
+//!
+//! PR 3 made replay streaming and allocation-free, but every run still
+//! regenerated its trace from the engine's seed. This crate gives traces a
+//! durable form: a block-based container with a delta/varint codec
+//! (LEB128 block-id deltas per domain, run-length coding of repeated
+//! fetches, a one-byte opcode dictionary over [`oslay_trace::TraceEvent`]
+//! variants including `Mark` epochs), per-block CRC-32 checksums, and a
+//! footer index of event counts and byte offsets — so readers can seek,
+//! verify, and shard an archive without decoding the whole file.
+//!
+//! Profile-guided layout pipelines live and die by reusable, verifiable
+//! profiles; a stored trace turns one-shot simulations into an
+//! archive-and-re-analyze workflow where every candidate layout replays
+//! the *identical* event stream, bit for bit.
+//!
+//! The two halves:
+//!
+//! - [`TraceWriter`] implements [`oslay_trace::TraceSink`], so it sits
+//!   under the live trace engine (alone, or teed next to a replayer via
+//!   [`oslay_trace::TeeSink`]) and streams events straight to disk.
+//! - [`TraceReader`] decodes blocks back into any sink — the cache
+//!   replayer in `core`, a [`CountingSink`] for verification — and its
+//!   [`BlockEntry`] index is the shard boundary for parallel verify.
+//!
+//! Corruption robustness: a flipped bit in a block body, a truncated
+//! footer, or a foreign file all surface as a typed [`StoreError`] naming
+//! the offending block; nothing decodes silently wrong.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+pub mod crc32;
+mod format;
+pub mod varint;
+
+pub use format::{
+    BlockEntry, CountingSink, StoreError, StoreSummary, StreamTotals, TraceReader, TraceWriter,
+    DEFAULT_BLOCK_EVENTS, END_MAGIC, MAGIC, RAW_EVENT_BYTES,
+};

@@ -1,0 +1,158 @@
+//! End-to-end store tests against real study traces: the archived stream
+//! must equal the live stream event for event, and every corruption class
+//! (payload bit-flip, truncated trailer, foreign magic) must be detected
+//! with the offending block named where one exists.
+
+use std::io::Cursor;
+use std::sync::OnceLock;
+
+use oslay::{Study, StudyConfig};
+use oslay_trace::Trace;
+use oslay_tracestore::{StoreError, TraceReader, TraceWriter, MAGIC};
+
+/// One shared small study: generation dominates test time, the store
+/// paths under test do not care how many events beyond "several blocks".
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut config = StudyConfig::tiny();
+        config.os_blocks = 6_000;
+        Study::generate(&config)
+    })
+}
+
+/// Encodes a case's live stream into an in-memory store with a small
+/// block capacity (to exercise multi-block paths) and returns the bytes.
+fn encode_case(case_index: usize, block_events: u32) -> Vec<u8> {
+    let s = study();
+    let mut writer =
+        TraceWriter::with_block_events(Vec::new(), block_events).expect("write header");
+    s.stream_case(&s.cases()[case_index], &mut writer);
+    let (buf, _) = writer.finish().expect("finish in-memory store");
+    buf
+}
+
+#[test]
+fn roundtrip_equals_live_stream_on_every_workload() {
+    let s = study();
+    for (i, case) in s.cases().iter().enumerate() {
+        let mut live = Trace::default();
+        s.stream_case(case, &mut live);
+
+        let bytes = encode_case(i, 2_048);
+        let mut reader = TraceReader::new(Cursor::new(&bytes)).expect("open store");
+        assert!(reader.block_count() > 1, "want multi-block coverage");
+        let mut decoded = Trace::default();
+        let n = reader.replay_into(&mut decoded).expect("decode");
+
+        assert_eq!(decoded, live, "decoded stream diverges for {}", case.name());
+        assert_eq!(n, live.len() as u64);
+        let summary = reader.verify().expect("verify");
+        assert_eq!(summary.totals.events, live.len() as u64);
+        assert_eq!(summary.totals.os_blocks, live.os_blocks());
+        assert_eq!(summary.totals.app_blocks, live.app_blocks());
+        assert!(
+            summary.compression_ratio() >= 3.0,
+            "{}: ratio {:.2} below the 3x floor",
+            case.name(),
+            summary.compression_ratio()
+        );
+    }
+}
+
+#[test]
+fn file_roundtrip_through_create_and_open() {
+    let s = study();
+    let case = &s.cases()[0];
+    let dir = std::env::temp_dir().join(format!("oslay_store_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("case0.otr");
+
+    let mut writer = TraceWriter::create(&path).expect("create store file");
+    s.stream_case(case, &mut writer);
+    let (_, written) = writer.finish().expect("finish store file");
+
+    let mut reader = TraceReader::open(&path).expect("open store file");
+    assert_eq!(reader.summary().totals, written.totals);
+    assert_eq!(reader.file_bytes(), std::fs::metadata(&path).unwrap().len());
+    let mut live = Trace::default();
+    s.stream_case(case, &mut live);
+    let mut decoded = Trace::default();
+    reader.replay_into(&mut decoded).expect("decode from disk");
+    assert_eq!(decoded, live);
+
+    std::fs::remove_dir_all(&dir).expect("clean temp dir");
+}
+
+#[test]
+fn payload_bit_flips_name_the_offending_block() {
+    let bytes = encode_case(3, 1_024);
+    let reader = TraceReader::new(Cursor::new(&bytes)).expect("open store");
+    let entries = reader.entries().to_vec();
+    assert!(entries.len() > 2);
+    drop(reader);
+
+    for (block, entry) in entries.iter().enumerate() {
+        let mut corrupt = bytes.clone();
+        // Flip one payload bit mid-block (the 8-byte frame precedes the
+        // payload at entry.offset).
+        let pos = entry.offset as usize + 8 + entry.payload_len as usize / 2;
+        corrupt[pos] ^= 0x10;
+
+        let mut reader = TraceReader::new(Cursor::new(&corrupt)).expect("index still intact");
+        let mut sink = Trace::default();
+        let err = reader
+            .replay_into(&mut sink)
+            .expect_err("corrupt payload must not decode");
+        match err {
+            StoreError::CorruptBlock { block: named, .. } => {
+                assert_eq!(named, block, "error must name the flipped block");
+            }
+            other => panic!("expected CorruptBlock, got {other}"),
+        }
+        assert!(err.to_string().contains(&format!("corrupt block {block}")));
+    }
+}
+
+#[test]
+fn truncated_footer_is_rejected() {
+    let bytes = encode_case(0, 2_048);
+    // Chop the trailer: the reader must refuse without panicking.
+    for keep in [bytes.len() - 1, bytes.len() - 24, bytes.len() / 2, 10] {
+        let err = TraceReader::new(Cursor::new(&bytes[..keep]))
+            .err()
+            .unwrap_or_else(|| panic!("store truncated to {keep} bytes must not open"));
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::CorruptFooter { .. }
+            ),
+            "unexpected error for {keep}-byte prefix: {err}"
+        );
+    }
+}
+
+#[test]
+fn foreign_magic_is_rejected() {
+    let mut bytes = encode_case(0, 2_048);
+    bytes[..MAGIC.len()].copy_from_slice(b"NOTATRCE");
+    match TraceReader::new(Cursor::new(&bytes)) {
+        Err(StoreError::BadMagic { found }) => assert_eq!(&found, b"NOTATRCE"),
+        other => panic!("expected BadMagic, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn footer_bit_flip_is_rejected() {
+    let bytes = encode_case(0, 2_048);
+    // The footer sits between the last block and the 24-byte trailer;
+    // flip a byte inside it.
+    let mut corrupt = bytes.clone();
+    let pos = bytes.len() - 30;
+    corrupt[pos] ^= 0x01;
+    let err = TraceReader::new(Cursor::new(&corrupt));
+    assert!(
+        err.is_err(),
+        "footer corruption must fail the open-time CRC"
+    );
+}
