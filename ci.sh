@@ -10,8 +10,38 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== miri (optional, nightly): trace store codec roundtrips =="
+if cargo +nightly miri --version > /dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -p oslay-tracestore --lib -- varint codec
+else
+  echo "miri unavailable (no nightly toolchain with miri); skipping"
+fi
+
+echo "== layout lint gate: every layout verifies clean =="
+tmpdir="$(mktemp -d)"
+cargo run --release -q -p oslay-bench --bin lint -- \
+  --scale tiny --layout all --deny warnings > "$tmpdir/lint.txt"
+grep -q "0 error(s), 0 warning(s)" "$tmpdir/lint.txt"
+
+echo "== layout lint gate: mutations must fail with their KV code =="
+for m in "block-swap:KV002" "loop-shift:KV004" "scf-overlap:KV005"; do
+  mutation="${m%%:*}"
+  code="${m##*:}"
+  if cargo run --release -q -p oslay-bench --bin lint -- \
+      --scale tiny --mutate "$mutation" > "$tmpdir/mutate.txt"; then
+    echo "mutation $mutation passed the lint (should have failed)" >&2
+    exit 1
+  fi
+  grep -q "$code" "$tmpdir/mutate.txt"
+done
+rm -rf "$tmpdir"
 
 echo "== diag smoke (tiny workload) + results schema check =="
 # The smoke run writes its report into a scratch results/ so the committed

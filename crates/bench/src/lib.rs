@@ -10,6 +10,7 @@
 //! cargo run --release -p oslay-bench --bin fig12_optimization_levels -- --scale paper
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;
@@ -39,6 +40,10 @@ pub struct RunArgs {
     /// default: available parallelism). Output is byte-identical at any
     /// value; see `oslay::exec::parallel_map`.
     pub threads: usize,
+    /// Verify every layout statically before simulating it (`--verify`).
+    /// Debug builds always verify; this flag opts release builds in. See
+    /// [`oslay::set_layout_verify`].
+    pub verify: bool,
 }
 
 /// Parses the common experiment arguments (`--scale tiny|small|paper`,
@@ -65,7 +70,11 @@ pub fn run_args_with<F>(default: StudyConfig, extra: F) -> RunArgs
 where
     F: FnMut(&str, &mut VecDeque<String>) -> bool,
 {
-    parse_run_args(std::env::args().skip(1).collect(), default, extra)
+    let args = parse_run_args(std::env::args().skip(1).collect(), default, extra);
+    if args.verify {
+        oslay::set_layout_verify(true);
+    }
+    args
 }
 
 /// The testable core of [`run_args_with`]: parses an explicit argument
@@ -83,6 +92,7 @@ where
     let mut out = RunArgs {
         config: default,
         threads: oslay::exec::default_threads(),
+        verify: false,
     };
     while let Some(arg) = argv.pop_front() {
         match arg.as_str() {
@@ -108,6 +118,7 @@ where
                 out.threads = v.parse().expect("--threads must be an integer");
                 assert!(out.threads >= 1, "--threads must be >= 1");
             }
+            "--verify" => out.verify = true,
             other => {
                 assert!(extra(other, &mut argv), "unknown argument {other:?}");
             }
@@ -601,6 +612,17 @@ mod tests {
     fn ladder_matches_figure12() {
         let names: Vec<&str> = figure12_ladder().iter().map(|&(n, _, _)| n).collect();
         assert_eq!(names, ["Base", "C-H", "OptS", "OptL", "OptA"]);
+    }
+
+    #[test]
+    fn parse_verify_flag() {
+        let argv: VecDeque<String> = ["--scale", "tiny", "--verify"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let args = parse_run_args(argv, StudyConfig::paper(), |_, _| false);
+        assert!(args.verify);
+        assert!(!parse_run_args(VecDeque::new(), StudyConfig::tiny(), |_, _| false).verify);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use oslay_layout::{
     base_layout, call_opt_layout, chang_hwu_layout, optimize_app, optimize_os, BlockClass,
-    CallOptParams, Layout, OptParams, APP_BASE,
+    CallOptParams, Layout, OptLayout, OptParams, APP_BASE,
 };
 use oslay_model::synth::{
     generate_app_mix, generate_kernel, AppParams, KernelParams, Scale, SyntheticKernel,
@@ -286,40 +286,24 @@ impl Study {
         let program = &self.kernel.program;
         match kind {
             OsLayoutKind::Base => OsLayout {
-                layout: base_layout(program, 0),
+                layout: self.checked_structural(base_layout(program, 0)),
                 classes: None,
                 scf_bytes: 0,
             },
             OsLayoutKind::ChangHwu => OsLayout {
-                layout: chang_hwu_layout(program, &self.os_profile_avg, 0),
+                layout: self.checked_structural(chang_hwu_layout(program, &self.os_profile_avg, 0)),
                 classes: None,
                 scf_bytes: 0,
             },
             OsLayoutKind::OptS => {
-                let opt = optimize_os(
-                    program,
-                    &self.os_profile_avg,
-                    &self.loops,
-                    &OptParams::opt_s(cache_size),
-                );
-                OsLayout {
-                    layout: opt.layout,
-                    scf_bytes: opt.scf_bytes,
-                    classes: Some(opt.classes),
-                }
+                let params = OptParams::opt_s(cache_size);
+                let opt = optimize_os(program, &self.os_profile_avg, &self.loops, &params);
+                self.checked_opt(opt, &params)
             }
             OsLayoutKind::OptL => {
-                let opt = optimize_os(
-                    program,
-                    &self.os_profile_avg,
-                    &self.loops,
-                    &OptParams::opt_l(cache_size),
-                );
-                OsLayout {
-                    layout: opt.layout,
-                    scf_bytes: opt.scf_bytes,
-                    classes: Some(opt.classes),
-                }
+                let params = OptParams::opt_l(cache_size);
+                let opt = optimize_os(program, &self.os_profile_avg, &self.loops, &params);
+                self.checked_opt(opt, &params)
             }
             OsLayoutKind::Call => {
                 let opt = call_opt_layout(
@@ -328,8 +312,12 @@ impl Study {
                     &self.loops,
                     &CallOptParams::new(cache_size),
                 );
+                // The Call placement deliberately reuses SelfConfFree
+                // offsets inside its per-loop logical caches (the paper's
+                // negative result), so only the structural invariants
+                // apply to it.
                 OsLayout {
-                    layout: opt.layout,
+                    layout: self.checked_structural(opt.layout),
                     scf_bytes: opt.scf_bytes,
                     classes: Some(opt.classes),
                 }
@@ -337,21 +325,65 @@ impl Study {
         }
     }
 
-    /// Builds an OS `OptS` layout with a custom SelfConfFree byte budget
-    /// (Figure 16's sweep).
-    #[must_use]
-    pub fn os_opt_s_with_scf(&self, cache_size: u32, budget: Option<u32>) -> OsLayout {
-        let opt = optimize_os(
-            &self.kernel.program,
-            &self.os_profile_avg,
-            &self.loops,
-            &OptParams::opt_s(cache_size).with_scf_budget(budget),
-        );
+    /// Runs the full invariant suite on an optimized layout when layout
+    /// verification is on (always in debug builds; `--verify` in release),
+    /// panicking on any error-severity diagnostic.
+    fn checked_opt(&self, opt: OptLayout, params: &OptParams) -> OsLayout {
+        if crate::layout_verify_enabled() {
+            let report = oslay_verify::verify_os_layout(
+                &self.kernel.program,
+                &self.os_profile_avg,
+                &self.loops,
+                &opt,
+                params,
+                Self::VERIFY_LINE_BYTES,
+            );
+            assert_eq!(
+                report.errors(),
+                0,
+                "layout failed static verification:\n{}",
+                report.render()
+            );
+        }
         OsLayout {
             layout: opt.layout,
             scf_bytes: opt.scf_bytes,
             classes: Some(opt.classes),
         }
+    }
+
+    /// Structural-only verification for layouts without optimizer
+    /// provenance (`Base`, `C-H`, `Call`).
+    fn checked_structural(&self, layout: Layout) -> Layout {
+        if crate::layout_verify_enabled() {
+            let view = oslay_verify::LayoutView::from_layout(&layout);
+            let report = oslay_verify::verify_structural(&self.kernel.program, &view);
+            assert_eq!(
+                report.errors(),
+                0,
+                "layout failed static verification:\n{}",
+                report.render()
+            );
+        }
+        layout
+    }
+
+    /// Line size used only to label conflicting sets in verification
+    /// reports (the paper's 32-byte lines).
+    const VERIFY_LINE_BYTES: u32 = 32;
+
+    /// Builds an OS `OptS` layout with a custom SelfConfFree byte budget
+    /// (Figure 16's sweep).
+    #[must_use]
+    pub fn os_opt_s_with_scf(&self, cache_size: u32, budget: Option<u32>) -> OsLayout {
+        let params = OptParams::opt_s(cache_size).with_scf_budget(budget);
+        let opt = optimize_os(
+            &self.kernel.program,
+            &self.os_profile_avg,
+            &self.loops,
+            &params,
+        );
+        self.checked_opt(opt, &params)
     }
 
     /// Regenerates `case`'s trace from its recorded engine seed and

@@ -15,6 +15,7 @@
 //! | [`classify`] | Figure 13 (references/misses by block class) |
 //! | [`report`] | ASCII tables and bar charts for all of the above |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

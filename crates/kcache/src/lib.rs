@@ -18,6 +18,7 @@
 //! All three implement [`InstructionCache`], so the evaluation driver is
 //! organization-agnostic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -268,7 +268,7 @@ impl Cache {
 
     /// Creates an empty cache with a custom per-set bound on eviction
     /// provenance records (tests use tiny caps to exercise the drop
-    /// path; the default is [`EvictTable::DEFAULT_CAP`] via
+    /// path; the default is `EvictTable::DEFAULT_CAP` via
     /// [`Cache::new`]).
     ///
     /// # Panics

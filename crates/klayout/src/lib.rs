@@ -23,6 +23,7 @@
 //!
 //! All algorithms are deterministic and consume only measured profile data.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

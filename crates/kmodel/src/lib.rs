@@ -51,6 +51,7 @@
 //! # Ok::<(), oslay_model::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

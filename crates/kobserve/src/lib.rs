@@ -26,6 +26,7 @@
 //! This crate depends on nothing outside `std`, so every other workspace
 //! crate can depend on it without cycles.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -46,7 +46,10 @@ pub struct CountingAlloc;
 // the bookkeeping touches only atomics.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
+        // SAFETY: the caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero-sized `layout`), which is exactly what `System.alloc`
+        // requires; the layout is forwarded unchanged.
+        let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             on_alloc(layout.size());
         }
@@ -54,12 +57,18 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: the caller guarantees `ptr` came from this allocator
+        // with this `layout`; every allocation path delegates to `System`,
+        // so the pair is valid for `System.dealloc`.
+        unsafe { System.dealloc(ptr, layout) };
         on_dealloc(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
+        // SAFETY: the caller guarantees `ptr`/`layout` describe a live
+        // `System` allocation and `new_size` is non-zero, matching
+        // `System.realloc`'s contract.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             on_alloc(new_size);
             on_dealloc(layout.size());

@@ -10,6 +10,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The only unsafe in the workspace lives in `alloc` (the counting
+// `GlobalAlloc`); every unsafe operation there must sit in an explicit
+// inner `unsafe {}` block with a `// SAFETY:` justification.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod alloc;
 pub mod simbench;

@@ -13,6 +13,7 @@
 //! synthetic generator are visible, only what the trace shows — exactly the
 //! information the original tooling extracted from hardware traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -18,6 +18,7 @@
 //! different address stream (see `oslay-layout`), exactly as the paper
 //! evaluates many layouts against one set of hardware traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

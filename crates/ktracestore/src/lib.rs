@@ -27,6 +27,7 @@
 //! footer, or a foreign file all surface as a typed [`StoreError`] naming
 //! the offending block; nothing decodes silently wrong.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -39,3 +40,13 @@ pub use format::{
     BlockEntry, CountingSink, StoreError, StoreSummary, StreamTotals, TraceReader, TraceWriter,
     DEFAULT_BLOCK_EVENTS, END_MAGIC, MAGIC, RAW_EVENT_BYTES,
 };
+
+/// The store's checksum, re-exported at the crate root so every consumer
+/// shares the single table-driven implementation in [`mod@crc32`]
+/// rather than growing private copies.
+///
+/// ```
+/// // The canonical CRC-32 check value.
+/// assert_eq!(oslay_tracestore::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub use crc32::crc32;

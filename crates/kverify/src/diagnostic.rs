@@ -1,0 +1,405 @@
+//! Typed diagnostics with stable codes.
+//!
+//! Every invariant violation the checker can report carries a stable
+//! [`DiagCode`] (`KV001`…), a [`Severity`], a human-readable message, and
+//! provenance (block, routine, sequence, address) so a broken layout can
+//! be traced back to the placement decision that broke it.
+
+use std::fmt;
+
+/// Stable diagnostic codes. Codes are append-only: a code never changes
+/// meaning once shipped, so CI gates and scripts can match on them.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+#[non_exhaustive]
+pub enum DiagCode {
+    /// `KV001` — two blocks overlap in the address space.
+    BlockOverlap,
+    /// `KV002` — a sequence is not placed contiguously in its captured
+    /// order (only SelfConfFree-window skips may interrupt it).
+    SequenceOrder,
+    /// `KV003` — a sequence does not conform to the descending
+    /// `(ExecThresh, BranchThresh)` schedule it claims to be built from.
+    ThresholdSchedule,
+    /// `KV004` — the loop area does not contain exactly the qualifying
+    /// (≥ `min_loop_iters` iterations/invocation) loop blocks, or is not a
+    /// contiguous region at the end of the sequences.
+    LoopArea,
+    /// `KV005` — executed non-SelfConfFree code maps into a cache set
+    /// owned by the SelfConfFree area (it would conflict with the
+    /// globally hottest blocks).
+    ScfConflict,
+    /// `KV006` — a SelfConfFree resident lies outside the reserved
+    /// `[0, scf_bytes)` window of logical cache 0.
+    ScfResident,
+    /// `KV007` — a block that executed under the profile is classified
+    /// `Cold` (it was placed as if it never ran).
+    ExecutedCold,
+    /// `KV008` — a block has a zero-size address span.
+    ZeroSizeBlock,
+}
+
+impl DiagCode {
+    /// All codes, in numbering order.
+    pub const ALL: [DiagCode; 8] = [
+        DiagCode::BlockOverlap,
+        DiagCode::SequenceOrder,
+        DiagCode::ThresholdSchedule,
+        DiagCode::LoopArea,
+        DiagCode::ScfConflict,
+        DiagCode::ScfResident,
+        DiagCode::ExecutedCold,
+        DiagCode::ZeroSizeBlock,
+    ];
+
+    /// The stable code string (`"KV001"`…).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::BlockOverlap => "KV001",
+            DiagCode::SequenceOrder => "KV002",
+            DiagCode::ThresholdSchedule => "KV003",
+            DiagCode::LoopArea => "KV004",
+            DiagCode::ScfConflict => "KV005",
+            DiagCode::ScfResident => "KV006",
+            DiagCode::ExecutedCold => "KV007",
+            DiagCode::ZeroSizeBlock => "KV008",
+        }
+    }
+
+    /// One-line description of the invariant the code checks.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            DiagCode::BlockOverlap => "block address ranges overlap",
+            DiagCode::SequenceOrder => "sequence not contiguous in captured order",
+            DiagCode::ThresholdSchedule => "sequence violates the threshold schedule",
+            DiagCode::LoopArea => "loop area malformed or mispopulated",
+            DiagCode::ScfConflict => "executed code conflicts with the SelfConfFree area",
+            DiagCode::ScfResident => "SelfConfFree resident outside its window",
+            DiagCode::ExecutedCold => "executed block classified Cold",
+            DiagCode::ZeroSizeBlock => "block has a zero-size span",
+        }
+    }
+
+    /// The default severity of the code.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::ExecutedCold | DiagCode::ZeroSizeBlock => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a diagnostic is.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum Severity {
+    /// Suspicious but not a broken guarantee; `--deny warnings` promotes
+    /// these to failures.
+    Warning,
+    /// A violated layout invariant: simulating this layout would measure a
+    /// machine the optimizer never meant to build.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label (`"warning"` / `"error"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One checker finding with provenance.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity (defaults to [`DiagCode::severity`]).
+    pub severity: Severity,
+    /// Human-readable detail.
+    pub message: String,
+    /// Offending block index, when one block is responsible.
+    pub block: Option<usize>,
+    /// Name of the routine owning the offending block.
+    pub routine: Option<String>,
+    /// Index of the sequence involved, for sequence-level checks.
+    pub sequence: Option<usize>,
+    /// Address the violation was observed at.
+    pub addr: Option<u64>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's default severity and no
+    /// provenance.
+    #[must_use]
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            block: None,
+            routine: None,
+            sequence: None,
+            addr: None,
+        }
+    }
+
+    /// Attaches the offending block (and the routine that owns it).
+    #[must_use]
+    pub fn with_block(mut self, block: usize, routine: impl Into<String>) -> Self {
+        self.block = Some(block);
+        self.routine = Some(routine.into());
+        self
+    }
+
+    /// Attaches the sequence index.
+    #[must_use]
+    pub fn with_sequence(mut self, sequence: usize) -> Self {
+        self.sequence = Some(sequence);
+        self
+    }
+
+    /// Attaches the address the violation was observed at.
+    #[must_use]
+    pub fn with_addr(mut self, addr: u64) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )?;
+        if let Some(b) = self.block {
+            write!(f, " (block {b}")?;
+            if let Some(r) = &self.routine {
+                write!(f, " in {r}")?;
+            }
+            if let Some(s) = self.sequence {
+                write!(f, ", sequence {s}")?;
+            }
+            if let Some(a) = self.addr {
+                write!(f, ", addr {a:#x}")?;
+            }
+            write!(f, ")")?;
+        } else if let Some(a) = self.addr {
+            write!(f, " (addr {a:#x})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The checker's result for one layout: all diagnostics, in check order.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    layout: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// An empty report for the named layout.
+    #[must_use]
+    pub fn new(layout: impl Into<String>) -> Self {
+        Self {
+            layout: layout.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// The layout the report describes.
+    #[must_use]
+    pub fn layout(&self) -> &str {
+        &self.layout
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// All diagnostics, in check order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True if no diagnostics at all were produced.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any diagnostic carries the given code.
+    #[must_use]
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Whether the report fails under the exit-code contract: errors
+    /// always fail; warnings fail only when `deny_warnings` is set.
+    #[must_use]
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    /// Renders the report as human-readable text, one diagnostic per line,
+    /// with a trailing summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s)\n",
+            self.layout,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the workspace
+    /// builds with no external crates).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"layout\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            escape(&self.layout),
+            self.errors(),
+            self.warnings()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+                d.code,
+                d.severity.label(),
+                escape(&d.message)
+            ));
+            if let Some(b) = d.block {
+                out.push_str(&format!(",\"block\":{b}"));
+            }
+            if let Some(r) = &d.routine {
+                out.push_str(&format!(",\"routine\":\"{}\"", escape(r)));
+            }
+            if let Some(s) = d.sequence {
+                out.push_str(&format!(",\"sequence\":{s}"));
+            }
+            if let Some(a) = d.addr {
+                out.push_str(&format!(",\"addr\":{a}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            ["KV001", "KV002", "KV003", "KV004", "KV005", "KV006", "KV007", "KV008"]
+        );
+    }
+
+    #[test]
+    fn report_counts_and_exit_contract() {
+        let mut r = VerifyReport::new("t");
+        assert!(!r.fails(true));
+        r.push(Diagnostic::new(DiagCode::ZeroSizeBlock, "zero"));
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        r.push(Diagnostic::new(DiagCode::BlockOverlap, "boom").with_addr(64));
+        assert_eq!(r.errors(), 1);
+        assert!(r.fails(false));
+        assert!(r.has(DiagCode::BlockOverlap));
+        assert!(!r.has(DiagCode::LoopArea));
+    }
+
+    #[test]
+    fn render_and_json_carry_code_and_provenance() {
+        let mut r = VerifyReport::new("OptL");
+        r.push(
+            Diagnostic::new(DiagCode::SequenceOrder, "out of order")
+                .with_block(7, "vm_fault")
+                .with_sequence(2)
+                .with_addr(0x40),
+        );
+        let text = r.render();
+        assert!(text.contains("KV002"));
+        assert!(text.contains("vm_fault"));
+        assert!(text.contains("sequence 2"));
+        let json = r.to_json();
+        assert!(json.contains("\"code\":\"KV002\""));
+        assert!(json.contains("\"block\":7"));
+        assert!(json.contains("\"addr\":64"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut r = VerifyReport::new("x\"y");
+        r.push(Diagnostic::new(DiagCode::BlockOverlap, "a\"b\\c"));
+        let json = r.to_json();
+        assert!(json.contains("x\\\"y"));
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

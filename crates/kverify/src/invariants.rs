@@ -1,0 +1,522 @@
+//! The invariant checker: layout guarantees proved without simulation.
+//!
+//! Every guarantee the paper's optimized layouts rely on is a *structural*
+//! property of the placed address map — none of them needs a trace to
+//! check:
+//!
+//! * every block placed exactly once, no address-range overlaps
+//!   ([`DiagCode::BlockOverlap`]);
+//! * sequences placed contiguously in captured order, interrupted only by
+//!   SelfConfFree-window skips ([`DiagCode::SequenceOrder`]);
+//! * sequences conforming to the descending `(ExecThresh, BranchThresh)`
+//!   schedule they claim ([`DiagCode::ThresholdSchedule`]);
+//! * the loop area holding exactly the qualifying high-iteration loop
+//!   blocks, contiguously, at the end of the sequences
+//!   ([`DiagCode::LoopArea`]);
+//! * the SelfConfFree region conflict-free by set-index arithmetic against
+//!   every other logical cache ([`DiagCode::ScfConflict`],
+//!   [`DiagCode::ScfResident`]).
+//!
+//! The checker consumes a [`LayoutView`] (addresses + spans) plus the same
+//! inputs the optimizer had (profile, sequences, loop analysis), and
+//! returns a [`VerifyReport`] of typed diagnostics.
+
+use oslay_model::{BlockId, Program};
+use oslay_profile::{LoopAnalysis, Profile};
+
+use oslay_layout::{BlockClass, SequenceSet, ThresholdSchedule};
+
+use crate::{DiagCode, Diagnostic, LayoutView, VerifyReport};
+
+/// Float slack for re-checking threshold comparisons the sequence builder
+/// made with the same arithmetic (guards against nothing today; keeps the
+/// checker honest if ratios are ever recomputed differently).
+const EPS: f64 = 1e-12;
+
+/// Optimizer-side context for the full invariant suite. Without it (base /
+/// Chang–Hwu / per-loop `Call` layouts) only the structural checks run.
+#[derive(Clone, Debug)]
+pub struct OptContext<'a> {
+    /// Per-block placement classes (`OptLayout::classes`).
+    pub classes: &'a [BlockClass],
+    /// The sequences the layout was built from.
+    pub sequences: &'a SequenceSet,
+    /// The threshold schedule the sequences claim to follow.
+    pub schedule: &'a ThresholdSchedule,
+    /// Loop analysis over the same profile.
+    pub loops: &'a LoopAnalysis,
+    /// Bytes reserved for the SelfConfFree area (0 disables SCF checks).
+    pub scf_bytes: u64,
+    /// Logical-cache granularity in bytes (the target cache size).
+    pub cache_size: u32,
+    /// Cache line size in bytes (for reporting conflicting set indices).
+    pub line_size: u32,
+    /// Loop-extraction qualification bound (iterations per invocation).
+    pub min_loop_iters: f64,
+    /// Whether the layout extracted loops (OptL) — enables the loop-area
+    /// population check.
+    pub check_loop_area: bool,
+}
+
+/// Everything the checker consumes.
+#[derive(Clone, Debug)]
+pub struct VerifyInput<'a> {
+    /// The program the layout places.
+    pub program: &'a Program,
+    /// The measured profile the layout was optimized for.
+    pub profile: &'a Profile,
+    /// The placed address map under test.
+    pub view: &'a LayoutView,
+    /// Optimizer context; `None` runs structural checks only.
+    pub opt: Option<OptContext<'a>>,
+}
+
+/// Runs every applicable invariant check and returns the diagnostics.
+///
+/// # Panics
+///
+/// Panics if the view's block count disagrees with the program's.
+#[must_use]
+pub fn verify(input: &VerifyInput<'_>) -> VerifyReport {
+    let VerifyInput {
+        program,
+        profile,
+        view,
+        opt,
+    } = input;
+    assert_eq!(
+        view.num_blocks(),
+        program.num_blocks(),
+        "view covers every program block"
+    );
+    let mut report = VerifyReport::new(view.name.clone());
+
+    check_zero_size(program, view, &mut report);
+    check_overlaps(program, view, &mut report);
+
+    if let Some(opt) = opt {
+        assert_eq!(
+            opt.classes.len(),
+            program.num_blocks(),
+            "one class per block"
+        );
+        check_scf_residents(program, view, opt, &mut report);
+        check_scf_conflicts(program, profile, view, opt, &mut report);
+        check_executed_cold(program, profile, opt, &mut report);
+        check_schedule(program, profile, opt, &mut report);
+        check_hot_stream(program, view, opt, &mut report);
+        if opt.check_loop_area {
+            check_loop_population(program, profile, opt, &mut report);
+        }
+    }
+    report
+}
+
+/// Convenience: structural checks only (overlaps, zero-size spans) for
+/// layouts without optimizer provenance.
+#[must_use]
+pub fn verify_structural(program: &Program, view: &LayoutView) -> VerifyReport {
+    verify(&VerifyInput {
+        program,
+        profile: &Profile::empty(program),
+        view,
+        opt: None,
+    })
+}
+
+fn routine_name(program: &Program, block: usize) -> String {
+    program
+        .routine(program.block(BlockId::new(block)).routine())
+        .name()
+        .to_owned()
+}
+
+/// `KV008`: zero-size spans. The layout builder cannot produce them from a
+/// real program (block sizes are positive), so one here means the address
+/// map was corrupted or hand-built.
+fn check_zero_size(program: &Program, view: &LayoutView, report: &mut VerifyReport) {
+    for b in 0..view.num_blocks() {
+        if view.size[b] == 0 {
+            report.push(
+                Diagnostic::new(DiagCode::ZeroSizeBlock, "block has a zero-size span")
+                    .with_block(b, routine_name(program, b))
+                    .with_addr(view.addr[b]),
+            );
+        }
+    }
+}
+
+/// `KV001`: address-range overlaps, detected over the address-sorted block
+/// order. Every block appears exactly once in the view by construction
+/// (it is indexed by block), so "placed exactly once" reduces to spans not
+/// intersecting.
+fn check_overlaps(program: &Program, view: &LayoutView, report: &mut VerifyReport) {
+    let order = view.by_addr();
+    for pair in order.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if view.end(a) > view.addr[b] {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::BlockOverlap,
+                    format!(
+                        "block {a} ({}, {:#x}..{:#x}) overlaps block {b} ({}, starts {:#x})",
+                        routine_name(program, a),
+                        view.addr[a],
+                        view.end(a),
+                        routine_name(program, b),
+                        view.addr[b],
+                    ),
+                )
+                .with_block(b, routine_name(program, b))
+                .with_addr(view.addr[b]),
+            );
+        }
+    }
+}
+
+/// `KV006`: every SelfConfFree resident must lie entirely inside the
+/// reserved `[0, scf_bytes)` window of logical cache 0.
+fn check_scf_residents(
+    program: &Program,
+    view: &LayoutView,
+    opt: &OptContext<'_>,
+    report: &mut VerifyReport,
+) {
+    for b in 0..view.num_blocks() {
+        if opt.classes[b] != BlockClass::SelfConfFree {
+            continue;
+        }
+        if opt.scf_bytes == 0 || view.end(b) > opt.scf_bytes {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ScfResident,
+                    format!(
+                        "SelfConfFree block spans {:#x}..{:#x}, outside the reserved [0, {:#x}) area",
+                        view.addr[b],
+                        view.end(b),
+                        opt.scf_bytes,
+                    ),
+                )
+                .with_block(b, routine_name(program, b))
+                .with_addr(view.addr[b]),
+            );
+        }
+    }
+}
+
+/// `KV005`: the SelfConfFree guarantee, proved by set arithmetic. The area
+/// owns cache offsets `[0, scf_bytes)`; it is conflict-free iff no
+/// *executed* non-SCF code maps any byte into those offsets in any logical
+/// cache (never-executed window fill is exactly what the windows are for).
+///
+/// `scf_bytes` is not line-aligned (the paper's 2.0% cut-off area is 1286
+/// bytes), so the check is byte-granular: a span `[addr, addr+len)`
+/// intersects a window iff `addr % cache < scf_bytes` or the span crosses
+/// its chunk's end (entering the next window's start).
+fn check_scf_conflicts(
+    program: &Program,
+    profile: &Profile,
+    view: &LayoutView,
+    opt: &OptContext<'_>,
+    report: &mut VerifyReport,
+) {
+    if opt.scf_bytes == 0 {
+        return;
+    }
+    let cache = u64::from(opt.cache_size);
+    let sets_per_cache = opt.cache_size / opt.line_size;
+    for b in 0..view.num_blocks() {
+        if opt.classes[b] == BlockClass::SelfConfFree {
+            continue;
+        }
+        if profile.node_weight(BlockId::new(b)) == 0 {
+            continue;
+        }
+        let len = u64::from(view.size[b]);
+        if len == 0 {
+            continue;
+        }
+        let off = view.addr[b] % cache;
+        let head_in_window = off < opt.scf_bytes;
+        let crosses_chunk = off + len > cache;
+        if head_in_window || crosses_chunk {
+            let set = (view.addr[b] / u64::from(opt.line_size)) % u64::from(sets_per_cache);
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ScfConflict,
+                    format!(
+                        "executed {:?} block at cache offset {off:#x} (set {set}) maps into \
+                         the SelfConfFree offsets [0, {:#x})",
+                        opt.classes[b], opt.scf_bytes,
+                    ),
+                )
+                .with_block(b, routine_name(program, b))
+                .with_addr(view.addr[b]),
+            );
+        }
+    }
+}
+
+/// `KV007` (warning): an executed block classified `Cold` was placed by
+/// the never-executed fill paths — it will fault straight into a window.
+fn check_executed_cold(
+    program: &Program,
+    profile: &Profile,
+    opt: &OptContext<'_>,
+    report: &mut VerifyReport,
+) {
+    for b in profile.executed_blocks() {
+        if opt.classes[b.index()] == BlockClass::Cold {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ExecutedCold,
+                    format!(
+                        "block executed {} times but is classified Cold",
+                        profile.node_weight(b)
+                    ),
+                )
+                .with_block(b.index(), routine_name(program, b.index())),
+            );
+        }
+    }
+}
+
+/// `KV003`: each sequence must conform to the schedule — its recorded
+/// `ExecThresh` matches its pass, the pass admits its seed, pass indices
+/// are non-decreasing across the set (descending popularity), every member
+/// meets the pass's `ExecThresh`, and every intra-sequence step follows an
+/// arc meeting the seed's `BranchThresh`.
+fn check_schedule(
+    program: &Program,
+    profile: &Profile,
+    opt: &OptContext<'_>,
+    report: &mut VerifyReport,
+) {
+    let mut last_pass = 0usize;
+    for (idx, seq) in opt.sequences.sequences().iter().enumerate() {
+        let Some(pass) = opt.schedule.passes.get(seq.pass) else {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ThresholdSchedule,
+                    format!(
+                        "sequence claims pass {} of a {}-pass schedule",
+                        seq.pass,
+                        opt.schedule.passes.len()
+                    ),
+                )
+                .with_sequence(idx),
+            );
+            continue;
+        };
+        if seq.pass < last_pass {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ThresholdSchedule,
+                    format!(
+                        "pass order regresses: sequence at pass {} after pass {last_pass}",
+                        seq.pass
+                    ),
+                )
+                .with_sequence(idx),
+            );
+        }
+        last_pass = last_pass.max(seq.pass);
+        if seq.exec_thresh != pass.exec {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ThresholdSchedule,
+                    format!(
+                        "sequence records ExecThresh {} but pass {} prescribes {}",
+                        seq.exec_thresh, seq.pass, pass.exec
+                    ),
+                )
+                .with_sequence(idx),
+            );
+        }
+        let Some(branch_thresh) = pass.branch[seq.seed.index()] else {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ThresholdSchedule,
+                    format!(
+                        "seed {} does not participate in pass {} yet",
+                        seq.seed, seq.pass
+                    ),
+                )
+                .with_sequence(idx),
+            );
+            continue;
+        };
+        for &b in &seq.blocks {
+            if profile.exec_ratio(b) < seq.exec_thresh - EPS {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ThresholdSchedule,
+                        format!(
+                            "member exec ratio {:.3e} below the pass's ExecThresh {:.3e}",
+                            profile.exec_ratio(b),
+                            seq.exec_thresh
+                        ),
+                    )
+                    .with_block(b.index(), routine_name(program, b.index()))
+                    .with_sequence(idx),
+                );
+            }
+        }
+        for pair in seq.blocks.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if profile.arc_prob(a, b) < branch_thresh - EPS {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ThresholdSchedule,
+                        format!(
+                            "chain step {a}→{b} has arc probability {:.3} below \
+                             BranchThresh {branch_thresh}",
+                            profile.arc_prob(a, b),
+                        ),
+                    )
+                    .with_block(b.index(), routine_name(program, b.index()))
+                    .with_sequence(idx),
+                );
+            }
+        }
+    }
+}
+
+/// `KV002` / `KV004`: the hot placement stream. The optimizer places the
+/// retained sequence blocks in captured order, then the extracted loop
+/// blocks, through the logical-cache allocator — so each consecutive pair
+/// is either dead contiguous (`addr(b) == end(a)`; stretch is inside the
+/// effective size) or separated by a window skip landing exactly at cache
+/// offset `scf_bytes`. A violated step inside the sequences is `KV002`;
+/// a violated step entering or inside the loop area is `KV004`.
+fn check_hot_stream(
+    program: &Program,
+    view: &LayoutView,
+    opt: &OptContext<'_>,
+    report: &mut VerifyReport,
+) {
+    let mut seq_of = vec![None; view.num_blocks()];
+    for (idx, b) in opt.sequences.blocks_in_order() {
+        seq_of[b.index()] = Some(idx);
+    }
+    // Reconstruct the placement stream: retained sequence blocks in
+    // captured order, then loop-area blocks in captured order.
+    let retained: Vec<BlockId> = opt
+        .sequences
+        .blocks_in_order()
+        .map(|(_, b)| b)
+        .filter(|&b| {
+            !matches!(
+                opt.classes[b.index()],
+                BlockClass::SelfConfFree | BlockClass::Loop
+            )
+        })
+        .collect();
+    let loop_blocks: Vec<BlockId> = opt
+        .sequences
+        .blocks_in_order()
+        .map(|(_, b)| b)
+        .filter(|&b| opt.classes[b.index()] == BlockClass::Loop)
+        .collect();
+
+    let cache = u64::from(opt.cache_size);
+    let window_landing = |addr: u64| opt.scf_bytes > 0 && addr % cache == opt.scf_bytes;
+
+    // The stream starts right after the SelfConfFree area (or at the image
+    // base when the area is disabled).
+    if let Some(&first) = retained.first() {
+        let addr = view.addr[first.index()];
+        let ok = if opt.scf_bytes > 0 {
+            window_landing(addr)
+        } else {
+            addr == 0
+        };
+        if !ok {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::SequenceOrder,
+                    format!(
+                        "first sequence block starts at {addr:#x}, not at the \
+                         SelfConfFree boundary (cache offset {:#x})",
+                        opt.scf_bytes
+                    ),
+                )
+                .with_block(first.index(), routine_name(program, first.index()))
+                .with_sequence(seq_of[first.index()].unwrap_or(0))
+                .with_addr(addr),
+            );
+        }
+    }
+
+    let stream: Vec<BlockId> = retained.iter().chain(loop_blocks.iter()).copied().collect();
+    for pair in stream.windows(2) {
+        let (a, b) = (pair[0].index(), pair[1].index());
+        let end_a = view.end(a);
+        let addr_b = view.addr[b];
+        let contiguous = addr_b == end_a;
+        let skipped = addr_b > end_a && window_landing(addr_b);
+        if contiguous || skipped {
+            continue;
+        }
+        let in_loop_area = opt.classes[a] == BlockClass::Loop || opt.classes[b] == BlockClass::Loop;
+        let (code, what) = if in_loop_area {
+            (DiagCode::LoopArea, "loop area")
+        } else {
+            (DiagCode::SequenceOrder, "sequence stream")
+        };
+        let mut diag = Diagnostic::new(
+            code,
+            format!(
+                "{what} breaks at block {a}→{b}: predecessor ends at {end_a:#x} but \
+                 successor starts at {addr_b:#x} (neither contiguous nor a window \
+                 skip to cache offset {:#x})",
+                opt.scf_bytes
+            ),
+        )
+        .with_block(b, routine_name(program, b))
+        .with_addr(addr_b);
+        if let Some(s) = seq_of[b] {
+            diag = diag.with_sequence(s);
+        }
+        report.push(diag);
+    }
+}
+
+/// `KV004` (population half): the loop area must hold *exactly* the
+/// executed body blocks of executed loops with at least `min_loop_iters`
+/// iterations per invocation, minus blocks already pulled into the
+/// SelfConfFree area.
+fn check_loop_population(
+    program: &Program,
+    profile: &Profile,
+    opt: &OptContext<'_>,
+    report: &mut VerifyReport,
+) {
+    let mut expected = vec![false; program.num_blocks()];
+    for l in opt.loops.executed_loops() {
+        if l.iterations_per_entry() < opt.min_loop_iters {
+            continue;
+        }
+        for &b in &l.body {
+            if profile.node_weight(b) > 0 && opt.classes[b.index()] != BlockClass::SelfConfFree {
+                expected[b.index()] = true;
+            }
+        }
+    }
+    for (b, &should_be_loop) in expected.iter().enumerate() {
+        let actual = opt.classes[b] == BlockClass::Loop;
+        if actual == should_be_loop {
+            continue;
+        }
+        let msg = if should_be_loop {
+            format!(
+                "block belongs to a ≥{} iterations/invocation loop but is not in the loop area",
+                opt.min_loop_iters
+            )
+        } else {
+            "block is in the loop area but no qualifying loop contains it".to_owned()
+        };
+        report
+            .push(Diagnostic::new(DiagCode::LoopArea, msg).with_block(b, routine_name(program, b)));
+    }
+}

@@ -1,0 +1,314 @@
+//! The static conflict predictor: per-set pressure and a predicted
+//! routine×routine conflict ranking, from profile weights and the placed
+//! address map alone — no simulation.
+//!
+//! The model follows the cache-miss-equation family of static analyses:
+//! every execution of a block fetches each cache line the block spans once,
+//! so folding the profile's node weights over the placed spans yields a
+//! per-line fetch weight. Lines mapping to the same set *compete*; the
+//! pressure a set carries beyond its single hottest line
+//! ([`SetPressure::excess`]) is weight that direct-mapped hardware must
+//! serve by evicting, and for each pair of same-set lines owned by
+//! different code the alternation bound `min(w₁, w₂)` estimates how often
+//! one can knock the other out. Rolled up per routine pair, that produces
+//! the static analogue of the measured
+//! [`ConflictMatrix`](oslay_cache::ConflictMatrix) —
+//! [`ranking_overlap`] cross-validates the two rankings.
+
+use std::collections::BTreeMap;
+
+use oslay_cache::{CacheConfig, ConflictMatrix};
+use oslay_model::{BlockId, Domain, Program};
+use oslay_profile::Profile;
+
+use crate::LayoutView;
+
+/// A routine identity the predictor shares with the measured matrix.
+pub type RoutineKey = (Domain, u32);
+
+/// One span of placed code with its fetch weight: `(addr, len, routine,
+/// weight)`.
+pub type WeightedSpan = (u64, u64, RoutineKey, f64);
+
+/// Static pressure of one cache set.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SetPressure {
+    /// The set index.
+    pub set: u32,
+    /// Total line-fetch weight mapped to the set.
+    pub weight: f64,
+    /// Weight beyond the set's single hottest line — the statically
+    /// predicted contention (zero when one line owns the set).
+    pub excess: f64,
+}
+
+/// The predictor's output.
+#[derive(Clone, Debug)]
+pub struct PredictedConflicts {
+    /// Per-set pressure, indexed by set.
+    pub sets: Vec<SetPressure>,
+    /// Predicted routine-pair conflict scores, heaviest first. Pairs are
+    /// unordered and stored with the smaller key first.
+    pub pairs: Vec<(RoutineKey, RoutineKey, f64)>,
+}
+
+impl PredictedConflicts {
+    /// The `k` highest-pressure sets, heaviest excess first.
+    #[must_use]
+    pub fn top_sets(&self, k: usize) -> Vec<SetPressure> {
+        let mut sets = self.sets.clone();
+        sets.sort_by(|a, b| {
+            b.excess
+                .partial_cmp(&a.excess)
+                .unwrap()
+                .then(a.set.cmp(&b.set))
+        });
+        sets.truncate(k);
+        sets
+    }
+
+    /// The `k` highest-scoring predicted routine pairs.
+    #[must_use]
+    pub fn top_pairs(&self, k: usize) -> &[(RoutineKey, RoutineKey, f64)] {
+        &self.pairs[..k.min(self.pairs.len())]
+    }
+}
+
+/// Builds the weighted spans of one program under one layout view: each
+/// executed block contributes its placed span at its node weight.
+#[must_use]
+pub fn weighted_spans(
+    program: &Program,
+    profile: &Profile,
+    view: &LayoutView,
+    domain: Domain,
+) -> Vec<WeightedSpan> {
+    (0..view.num_blocks())
+        .filter_map(|i| {
+            let w = profile.node_weight(BlockId::new(i));
+            if w == 0 || view.size[i] == 0 {
+                return None;
+            }
+            let routine = u32::try_from(program.block(BlockId::new(i)).routine().index())
+                .expect("routine index fits u32");
+            Some((
+                view.addr[i],
+                u64::from(view.size[i]),
+                (domain, routine),
+                w as f64,
+            ))
+        })
+        .collect()
+}
+
+/// Runs the predictor over weighted spans (chain the spans of several
+/// programs for multi-domain workloads — the address spaces are disjoint).
+#[must_use]
+pub fn predict_from_spans(spans: &[WeightedSpan], config: &CacheConfig) -> PredictedConflicts {
+    let line = u64::from(config.line());
+    let set_mask = config.set_mask();
+
+    // Fold block weights into per-(line, routine) fetch weights.
+    let mut units: BTreeMap<(u64, RoutineKey), f64> = BTreeMap::new();
+    for &(addr, len, routine, weight) in spans {
+        if len == 0 {
+            continue;
+        }
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        for line_key in first..=last {
+            *units.entry((line_key, routine)).or_insert(0.0) += weight;
+        }
+    }
+
+    // Group the units per set.
+    let mut per_set: BTreeMap<u32, Vec<(u64, RoutineKey, f64)>> = BTreeMap::new();
+    for (&(line_key, routine), &w) in &units {
+        let set = (line_key & set_mask) as u32;
+        per_set.entry(set).or_default().push((line_key, routine, w));
+    }
+
+    let num_sets = config.num_sets();
+    let mut sets: Vec<SetPressure> = (0..num_sets)
+        .map(|set| SetPressure {
+            set,
+            weight: 0.0,
+            excess: 0.0,
+        })
+        .collect();
+    let mut pairs: BTreeMap<(RoutineKey, RoutineKey), f64> = BTreeMap::new();
+
+    for (&set, members) in &per_set {
+        // Per-line totals (a line may host several routines).
+        let mut line_weight: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        for &(line_key, _, w) in members {
+            *line_weight.entry(line_key).or_insert(0.0) += w;
+            total += w;
+        }
+        let hottest = line_weight.values().cloned().fold(0.0, f64::max);
+        sets[set as usize] = SetPressure {
+            set,
+            weight: total,
+            excess: total - hottest,
+        };
+
+        // Pairwise alternation bounds between units on *different* lines
+        // of the set (same-line code shares the line and cannot evict it).
+        for (i, &(line_a, ra, wa)) in members.iter().enumerate() {
+            for &(line_b, rb, wb) in &members[i + 1..] {
+                if line_a == line_b {
+                    continue;
+                }
+                let key = if ra <= rb { (ra, rb) } else { (rb, ra) };
+                *pairs.entry(key).or_insert(0.0) += wa.min(wb);
+            }
+        }
+    }
+
+    let mut pairs: Vec<(RoutineKey, RoutineKey, f64)> =
+        pairs.into_iter().map(|((a, b), s)| (a, b, s)).collect();
+    pairs.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap()
+            .then((a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    PredictedConflicts { sets, pairs }
+}
+
+/// Convenience: predicts conflicts for one program under one layout view.
+#[must_use]
+pub fn predict_conflicts(
+    program: &Program,
+    profile: &Profile,
+    view: &LayoutView,
+    domain: Domain,
+    config: &CacheConfig,
+) -> PredictedConflicts {
+    predict_from_spans(&weighted_spans(program, profile, view, domain), config)
+}
+
+/// Collapses a measured [`ConflictMatrix`] to unordered routine-pair
+/// totals, heaviest first.
+#[must_use]
+pub fn measured_pair_ranking(matrix: &ConflictMatrix) -> Vec<(RoutineKey, RoutineKey, u64)> {
+    let mut totals: BTreeMap<(RoutineKey, RoutineKey), u64> = BTreeMap::new();
+    for (evictor, victim, count) in matrix.entries() {
+        let key = if evictor <= victim {
+            (evictor, victim)
+        } else {
+            (victim, evictor)
+        };
+        *totals.entry(key).or_insert(0) += count;
+    }
+    let mut ranked: Vec<(RoutineKey, RoutineKey, u64)> =
+        totals.into_iter().map(|((a, b), c)| (a, b, c)).collect();
+    ranked.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+    ranked
+}
+
+/// Fraction of the measured top-`k` routine pairs the prediction also
+/// ranks in its top `k` (the cross-validation gate). The denominator is
+/// clamped to the shorter ranking; an empty intersection base (no
+/// conflicts measured or predicted at all) counts as full agreement.
+#[must_use]
+pub fn ranking_overlap(predicted: &PredictedConflicts, measured: &ConflictMatrix, k: usize) -> f64 {
+    let measured_top = measured_pair_ranking(measured);
+    let denom = k.min(measured_top.len()).min(predicted.pairs.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    let predicted_top: std::collections::BTreeSet<(RoutineKey, RoutineKey)> = predicted
+        .top_pairs(k)
+        .iter()
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    let hits = measured_top
+        .iter()
+        .take(denom)
+        .filter(|&&(a, b, _)| predicted_top.contains(&(a, b)))
+        .count();
+    hits as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        // 256-byte cache, 32-byte lines → 8 sets.
+        CacheConfig::new(256, 32, 1)
+    }
+
+    const R0: RoutineKey = (Domain::Os, 0);
+    const R1: RoutineKey = (Domain::Os, 1);
+    const R2: RoutineKey = (Domain::Os, 2);
+
+    #[test]
+    fn colliding_spans_dominate_the_pair_ranking() {
+        // R0 at set 0; R1 one cache-size away → same set; R2 alone at set 4.
+        let spans = vec![
+            (0, 32, R0, 100.0),
+            (256, 32, R1, 60.0),
+            (128, 32, R2, 500.0),
+        ];
+        let p = predict_from_spans(&spans, &cfg());
+        assert_eq!(p.pairs.len(), 1);
+        assert_eq!(p.pairs[0], (R0, R1, 60.0));
+        assert_eq!(p.sets[0].weight, 160.0);
+        assert_eq!(p.sets[0].excess, 60.0);
+        assert_eq!(p.sets[4].weight, 500.0);
+        assert_eq!(
+            p.sets[4].excess, 0.0,
+            "a set with one line has no contention"
+        );
+    }
+
+    #[test]
+    fn same_line_units_do_not_conflict() {
+        // Two routines sharing one 32-byte line.
+        let spans = vec![(0, 16, R0, 10.0), (16, 16, R1, 20.0)];
+        let p = predict_from_spans(&spans, &cfg());
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.sets[0].excess, 0.0);
+    }
+
+    #[test]
+    fn multi_line_blocks_spread_weight() {
+        // A 100-byte block spans 4 lines → sets 0..4 each get its weight.
+        let spans = vec![(0, 100, R0, 7.0)];
+        let p = predict_from_spans(&spans, &cfg());
+        for set in 0..4 {
+            assert_eq!(p.sets[set].weight, 7.0);
+        }
+        assert_eq!(p.sets[4].weight, 0.0);
+    }
+
+    #[test]
+    fn overlap_against_measured_matrix() {
+        let spans = vec![(0, 32, R0, 100.0), (256, 32, R1, 60.0)];
+        let p = predict_from_spans(&spans, &cfg());
+        let mut m = ConflictMatrix::default();
+        m.add(R0, R1, 40);
+        m.add(R1, R0, 10);
+        assert_eq!(ranking_overlap(&p, &m, 10), 1.0);
+        let empty = ConflictMatrix::default();
+        assert_eq!(ranking_overlap(&p, &empty, 10), 1.0, "vacuous agreement");
+    }
+
+    #[test]
+    fn top_sets_rank_by_excess() {
+        let spans = vec![
+            (0, 32, R0, 10.0),
+            (256, 32, R1, 10.0),
+            (32, 32, R0, 5.0),
+            (288, 32, R2, 1.0),
+        ];
+        let p = predict_from_spans(&spans, &cfg());
+        let top = p.top_sets(2);
+        assert_eq!(top[0].set, 0);
+        assert_eq!(top[0].excess, 10.0);
+        assert_eq!(top[1].set, 1);
+        assert_eq!(top[1].excess, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! A mutable address-map view of a layout.
+//!
+//! The checker never needs the full [`Layout`](oslay_layout::Layout)
+//! machinery — only each block's placed address and effective span. A
+//! [`LayoutView`] captures exactly that, and (unlike `Layout`, whose
+//! fields are deliberately private and whose builder refuses to construct
+//! broken layouts) it can be *corrupted on purpose*: the mutation tests
+//! and the `lint --mutate` modes swap, shift, and re-aim blocks through
+//! this view to prove each invariant check actually fires.
+
+use oslay_layout::Layout;
+use oslay_model::BlockId;
+
+/// Per-block placed addresses and effective sizes, open for mutation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayoutView {
+    /// Layout name (carried into reports).
+    pub name: String,
+    /// Start address per block, indexed by block index.
+    pub addr: Vec<u64>,
+    /// Effective size in bytes per block (block size plus stretch).
+    pub size: Vec<u32>,
+}
+
+impl LayoutView {
+    /// Captures a finished layout.
+    #[must_use]
+    pub fn from_layout(layout: &Layout) -> Self {
+        let n = layout.num_blocks();
+        Self {
+            name: layout.name().to_owned(),
+            addr: (0..n).map(|i| layout.addr(BlockId::new(i))).collect(),
+            size: (0..n)
+                .map(|i| layout.effective_size(BlockId::new(i)))
+                .collect(),
+        }
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.addr.len()
+    }
+
+    /// End address (exclusive) of a block's span.
+    #[must_use]
+    pub fn end(&self, block: usize) -> u64 {
+        self.addr[block] + u64::from(self.size[block])
+    }
+
+    /// Swaps the addresses of two blocks (sizes stay with their blocks, so
+    /// unequal sizes usually also produce overlaps — the point of the
+    /// mutation is breaking placement *order*).
+    pub fn swap_addrs(&mut self, a: usize, b: usize) {
+        self.addr.swap(a, b);
+    }
+
+    /// Shifts every listed block by `delta` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shift would move a block below address zero.
+    pub fn shift_blocks(&mut self, blocks: &[usize], delta: i64) {
+        for &b in blocks {
+            self.addr[b] = self.addr[b]
+                .checked_add_signed(delta)
+                .expect("shift keeps addresses non-negative");
+        }
+    }
+
+    /// Re-aims one block at an explicit address.
+    pub fn set_addr(&mut self, block: usize, addr: u64) {
+        self.addr[block] = addr;
+    }
+
+    /// Block indices sorted by placed address (ties by index).
+    #[must_use]
+    pub fn by_addr(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.num_blocks()).collect();
+        order.sort_by_key(|&i| (self.addr[i], i));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> LayoutView {
+        LayoutView {
+            name: "t".into(),
+            addr: vec![0, 10, 30],
+            size: vec![10, 20, 5],
+        }
+    }
+
+    #[test]
+    fn end_and_order() {
+        let v = view();
+        assert_eq!(v.end(1), 30);
+        assert_eq!(v.by_addr(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mutations_apply() {
+        let mut v = view();
+        v.swap_addrs(0, 2);
+        assert_eq!(v.addr, vec![30, 10, 0]);
+        v.shift_blocks(&[1], 64);
+        assert_eq!(v.addr[1], 74);
+        v.set_addr(0, 5);
+        assert_eq!(v.addr[0], 5);
+        assert_eq!(v.by_addr(), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Integration tests: the checker passes the optimizer's real layouts and
+//! fires the right stable code on each deliberately corrupted one.
+
+use oslay_layout::{base_layout, optimize_os, OptLayout, OptParams, ThresholdSchedule};
+use oslay_model::synth::{generate_kernel, KernelParams, Scale};
+use oslay_model::{BlockId, Program};
+use oslay_profile::{LoopAnalysis, Profile};
+use oslay_trace::{standard_workloads, Engine, EngineConfig};
+use oslay_verify::{
+    verify, verify_os_layout, verify_structural, DiagCode, LayoutView, OptContext, Severity,
+    VerifyInput,
+};
+
+const CACHE: u32 = 8192;
+const LINE: u32 = 32;
+
+fn setup() -> (Program, Profile, LoopAnalysis) {
+    let k = generate_kernel(&KernelParams::at_scale(Scale::Tiny, 99));
+    let specs = standard_workloads(&k.tables);
+    let t = Engine::new(&k.program, None, &specs[3], EngineConfig::new(8)).run(60_000);
+    let p = Profile::collect(&k.program, &t);
+    let la = LoopAnalysis::analyze(&k.program, &p);
+    (k.program, p, la)
+}
+
+fn opt_l(program: &Program, profile: &Profile, loops: &LoopAnalysis) -> (OptLayout, OptParams) {
+    let params = OptParams::opt_l(CACHE);
+    let opt = optimize_os(program, profile, loops, &params);
+    (opt, params)
+}
+
+/// Re-verifies a mutated view with the optimizer's own context.
+fn verify_mutated(
+    program: &Program,
+    profile: &Profile,
+    loops: &LoopAnalysis,
+    opt: &OptLayout,
+    params: &OptParams,
+    view: &LayoutView,
+) -> oslay_verify::VerifyReport {
+    verify(&VerifyInput {
+        program,
+        profile,
+        view,
+        opt: Some(OptContext {
+            classes: &opt.classes,
+            sequences: &opt.sequences,
+            schedule: &params.schedule,
+            loops,
+            scf_bytes: opt.scf_bytes,
+            cache_size: params.cache_size,
+            line_size: LINE,
+            min_loop_iters: params.min_loop_iters,
+            check_loop_area: params.extract_loops,
+        }),
+    })
+}
+
+fn blocks_of_class(opt: &OptLayout, class: oslay_layout::BlockClass) -> Vec<usize> {
+    (0..opt.classes.len())
+        .filter(|&i| opt.classes[i] == class)
+        .collect()
+}
+
+#[test]
+fn clean_opt_layouts_verify_clean() {
+    let (program, profile, loops) = setup();
+    for params in [OptParams::opt_s(CACHE), OptParams::opt_l(CACHE)] {
+        let opt = optimize_os(&program, &profile, &loops, &params);
+        let report = verify_os_layout(&program, &profile, &loops, &opt, &params, LINE);
+        assert!(
+            report.is_clean(),
+            "{} should verify clean:\n{}",
+            opt.layout.name(),
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn base_layout_verifies_structurally_clean() {
+    let (program, _, _) = setup();
+    let layout = base_layout(&program, 0);
+    let view = LayoutView::from_layout(&layout);
+    let report = verify_structural(&program, &view);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn no_scf_budget_layout_still_verifies() {
+    let (program, profile, loops) = setup();
+    let params = OptParams::opt_s(CACHE).with_scf_budget(None);
+    let opt = optimize_os(&program, &profile, &loops, &params);
+    assert_eq!(opt.scf_bytes, 0);
+    let report = verify_os_layout(&program, &profile, &loops, &opt, &params, LINE);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn block_swap_fires_kv002() {
+    let (program, profile, loops) = setup();
+    let (opt, params) = opt_l(&program, &profile, &loops);
+    // Swap two non-adjacent members of the longest sequence.
+    let seq = opt
+        .sequences
+        .sequences()
+        .iter()
+        .max_by_key(|s| s.blocks.len())
+        .expect("sequences exist");
+    assert!(seq.blocks.len() >= 3, "need a 3+ block sequence to swap in");
+    let a = seq.blocks[0].index();
+    let b = seq.blocks[2].index();
+    let mut view = LayoutView::from_layout(&opt.layout);
+    view.swap_addrs(a, b);
+    let report = verify_mutated(&program, &profile, &loops, &opt, &params, &view);
+    assert!(
+        report.has(DiagCode::SequenceOrder),
+        "swap must fire KV002:\n{}",
+        report.render()
+    );
+    assert!(report.errors() > 0);
+}
+
+#[test]
+fn loop_area_shift_fires_kv004() {
+    let (program, profile, loops) = setup();
+    let (opt, params) = opt_l(&program, &profile, &loops);
+    let loop_blocks = blocks_of_class(&opt, oslay_layout::BlockClass::Loop);
+    assert!(!loop_blocks.is_empty(), "OptL extracts loops at this scale");
+    let mut view = LayoutView::from_layout(&opt.layout);
+    // Shift the whole loop area by 64 bytes: internal contiguity survives,
+    // but the area no longer starts where the sequences end.
+    view.shift_blocks(&loop_blocks, 64);
+    let report = verify_mutated(&program, &profile, &loops, &opt, &params, &view);
+    assert!(
+        report.has(DiagCode::LoopArea),
+        "loop shift must fire KV004:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn scf_overlap_fires_kv005() {
+    let (program, profile, loops) = setup();
+    let (opt, params) = opt_l(&program, &profile, &loops);
+    assert!(opt.scf_bytes > 0);
+    let hot = blocks_of_class(&opt, oslay_layout::BlockClass::MainSeq);
+    // Re-aim a mid-stream hot block at offset 0 of logical cache 1 — the
+    // window reserved to keep the SelfConfFree sets private.
+    let victim = hot[hot.len() / 2];
+    let mut view = LayoutView::from_layout(&opt.layout);
+    view.set_addr(victim, u64::from(CACHE));
+    let report = verify_mutated(&program, &profile, &loops, &opt, &params, &view);
+    assert!(
+        report.has(DiagCode::ScfConflict),
+        "SCF overlap must fire KV005:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn displaced_scf_resident_fires_kv006() {
+    let (program, profile, loops) = setup();
+    let (opt, params) = opt_l(&program, &profile, &loops);
+    let scf = blocks_of_class(&opt, oslay_layout::BlockClass::SelfConfFree);
+    assert!(!scf.is_empty());
+    let mut view = LayoutView::from_layout(&opt.layout);
+    // Push one resident past the reserved window.
+    view.set_addr(scf[0], opt.scf_bytes + u64::from(CACHE) * 4);
+    let report = verify_mutated(&program, &profile, &loops, &opt, &params, &view);
+    assert!(
+        report.has(DiagCode::ScfResident),
+        "displaced resident must fire KV006:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn executed_cold_class_fires_kv007_warning() {
+    let (program, profile, loops) = setup();
+    let (opt, params) = opt_l(&program, &profile, &loops);
+    // Pick a sequence block (reclassifying an SCF resident would also be a
+    // KV005 error; this test isolates the warning).
+    let executed = profile
+        .executed_blocks()
+        .find(|&b| opt.classes[b.index()] == oslay_layout::BlockClass::MainSeq)
+        .expect("executed main-sequence block");
+    let mut classes = opt.classes.clone();
+    classes[executed.index()] = oslay_layout::BlockClass::Cold;
+    let view = LayoutView::from_layout(&opt.layout);
+    let report = verify(&VerifyInput {
+        program: &program,
+        profile: &profile,
+        view: &view,
+        opt: Some(OptContext {
+            classes: &classes,
+            sequences: &opt.sequences,
+            schedule: &params.schedule,
+            loops: &loops,
+            scf_bytes: opt.scf_bytes,
+            cache_size: params.cache_size,
+            line_size: LINE,
+            min_loop_iters: params.min_loop_iters,
+            check_loop_area: false,
+        }),
+    });
+    let kv007: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == DiagCode::ExecutedCold)
+        .collect();
+    assert!(!kv007.is_empty(), "{}", report.render());
+    assert!(kv007.iter().all(|d| d.severity == Severity::Warning));
+    assert!(!report.fails(false), "warnings alone pass by default");
+    assert!(report.fails(true), "--deny warnings promotes them");
+}
+
+#[test]
+fn zero_size_span_fires_kv008_warning() {
+    let (program, _, _) = setup();
+    let layout = base_layout(&program, 0);
+    let mut view = LayoutView::from_layout(&layout);
+    view.size[0] = 0;
+    let report = verify_structural(&program, &view);
+    assert!(report.has(DiagCode::ZeroSizeBlock), "{}", report.render());
+    assert_eq!(report.errors(), 0, "KV008 is a warning");
+}
+
+#[test]
+fn mismatched_schedule_fires_kv003() {
+    let (program, profile, loops) = setup();
+    let (opt, _) = opt_l(&program, &profile, &loops);
+    // Verify paper-schedule sequences against a single-pass schedule: the
+    // recorded ExecThresh values and pass indices cannot conform.
+    let wrong = ThresholdSchedule::single_pass(0.5, 0.9);
+    let view = LayoutView::from_layout(&opt.layout);
+    let report = verify(&VerifyInput {
+        program: &program,
+        profile: &profile,
+        view: &view,
+        opt: Some(OptContext {
+            classes: &opt.classes,
+            sequences: &opt.sequences,
+            schedule: &wrong,
+            loops: &loops,
+            scf_bytes: opt.scf_bytes,
+            cache_size: CACHE,
+            line_size: LINE,
+            min_loop_iters: 6.0,
+            check_loop_area: false,
+        }),
+    });
+    assert!(
+        report.has(DiagCode::ThresholdSchedule),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn overlap_fires_kv001() {
+    let (program, _, _) = setup();
+    let layout = base_layout(&program, 0);
+    let mut view = LayoutView::from_layout(&layout);
+    // Slide block 1 halfway into block 0.
+    let half = u64::from(view.size[0] / 2).max(1);
+    let a0 = view.addr[0];
+    view.set_addr(1, a0 + half);
+    let report = verify_structural(&program, &view);
+    assert!(report.has(DiagCode::BlockOverlap), "{}", report.render());
+    assert!(report.errors() > 0);
+}
+
+#[test]
+fn report_json_names_the_codes() {
+    let (program, _, _) = setup();
+    let layout = base_layout(&program, 0);
+    let mut view = LayoutView::from_layout(&layout);
+    view.set_addr(1, view.addr[0]);
+    let report = verify_structural(&program, &view);
+    let json = report.to_json();
+    assert!(json.contains("\"code\":\"KV001\""));
+    assert!(json.contains("\"layout\":\"Base\""));
+}
+
+/// The verifier must stay fast enough to run before every simulation:
+/// sanity-bound it (debug build, tiny kernel) rather than benchmark it.
+#[test]
+fn verification_is_static_and_cheap() {
+    let (program, profile, loops) = setup();
+    let (opt, params) = opt_l(&program, &profile, &loops);
+    let start = std::time::Instant::now();
+    for _ in 0..10 {
+        let report = verify_os_layout(&program, &profile, &loops, &opt, &params, LINE);
+        assert!(report.is_clean());
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "10 verifications took {:?}",
+        start.elapsed()
+    );
+}
+
+/// KV001 must also catch a block placed on top of another via the raw view
+/// even when the program-level builder would have refused it.
+#[test]
+fn unplaced_equivalent_duplicate_address_is_an_overlap() {
+    let (program, _, _) = setup();
+    let layout = base_layout(&program, 0);
+    let mut view = LayoutView::from_layout(&layout);
+    let last = view.num_blocks() - 1;
+    view.set_addr(last, view.addr[BlockId::new(0).index()]);
+    let report = verify_structural(&program, &view);
+    assert!(report.has(DiagCode::BlockOverlap));
+}
