@@ -62,7 +62,24 @@ cargo run --release -q -p oslay-bench --bin diag -- --check-results
 echo "== bench_sim smoke + schema check =="
 tmpdir="$(mktemp -d)"
 cargo run --release -q -p oslay-bench --bin bench_sim -- \
-  --smoke --out "$tmpdir/BENCH_sim.json" > /dev/null
+  --smoke --out "$tmpdir/BENCH_sim.json" --history "$tmpdir/hist.jsonl" > /dev/null
+
+echo "== bench history trend gate (synthetic baselines, both verdicts) =="
+# Against an implausibly slow history the gate must pass...
+sed -E 's/"events_per_sec":[0-9.eE+-]+/"events_per_sec":0.001/g' \
+  "$tmpdir/hist.jsonl" > "$tmpdir/hist_slow.jsonl"
+cargo run --release -q -p oslay-bench --bin bench_sim -- \
+  --smoke --out "$tmpdir/BENCH_sim.json" \
+  --history "$tmpdir/hist_slow.jsonl" --gate > /dev/null
+# ...and against an impossibly fast one it must fail with exit 1.
+sed -E 's/"events_per_sec":[0-9.eE+-]+/"events_per_sec":1e15/g' \
+  "$tmpdir/hist.jsonl" > "$tmpdir/hist_fast.jsonl"
+if cargo run --release -q -p oslay-bench --bin bench_sim -- \
+    --smoke --out "$tmpdir/BENCH_sim.json" \
+    --history "$tmpdir/hist_fast.jsonl" --gate > /dev/null 2>&1; then
+  echo "trend gate passed against an impossibly fast baseline" >&2
+  exit 1
+fi
 
 echo "== thread-count determinism (1 vs 2 workers, tiny digest) =="
 repo_root="$PWD"
@@ -76,8 +93,44 @@ for t in 1 2; do
   )
 done
 diff "$tmpdir/t1/stdout.txt" "$tmpdir/t2/stdout.txt"
-diff <(grep -v '"secs"' "$tmpdir/t1/results/all_experiments.json") \
-     <(grep -v '"secs"' "$tmpdir/t2/results/all_experiments.json")
+# Wall-clock spans and allocator telemetry are the only fields allowed to
+# differ between worker counts.
+nondet='"(secs|alloc_calls|alloc_bytes|live_bytes|peak_bytes)"'
+diff <(grep -vE "$nondet" "$tmpdir/t1/results/all_experiments.json") \
+     <(grep -vE "$nondet" "$tmpdir/t2/results/all_experiments.json")
+rm -rf "$tmpdir"
+
+echo "== flight recorder gate: schema-valid trace, stdout unperturbed =="
+tmpdir="$(mktemp -d)"
+repo_root="$PWD"
+(
+  cd "$tmpdir"
+  mkdir -p results
+  cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+    -p oslay-bench --bin fig12_optimization_levels -- \
+    --scale tiny --threads 2 > plain.txt 2> /dev/null
+  cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+    -p oslay-bench --bin fig12_optimization_levels -- \
+    --scale tiny --threads 2 --trace-out trace.json > traced.txt 2> /dev/null
+)
+# Tracing must not perturb the experiment's stdout...
+diff "$tmpdir/plain.txt" "$tmpdir/traced.txt"
+# ...and the trace must pass the trace-event schema checker (balanced
+# events, per-track monotonic timestamps, spans nested in their parents)
+# and render through both terminal views.
+cargo run --release -q -p oslay-bench --bin perf -- \
+  check --in "$tmpdir/trace.json"
+cargo run --release -q -p oslay-bench --bin perf -- \
+  top --in "$tmpdir/trace.json" --n 5 > /dev/null
+cargo run --release -q -p oslay-bench --bin perf -- \
+  timeline --in "$tmpdir/trace.json" > /dev/null
+# A truncated trace must be rejected.
+head -c 200 "$tmpdir/trace.json" > "$tmpdir/broken.json"
+if cargo run --release -q -p oslay-bench --bin perf -- \
+    check --in "$tmpdir/broken.json" > /dev/null 2>&1; then
+  echo "perf check accepted a truncated trace" >&2
+  exit 1
+fi
 rm -rf "$tmpdir"
 
 echo "== trace store gate: record -> verify -> replay reproducibility =="

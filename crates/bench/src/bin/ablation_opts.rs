@@ -72,4 +72,5 @@ fn main() {
         "full = staggered schedule + SCF; no-scf drops the SelfConfFree area; \
          flat-schedule replaces the descending threshold ladder with one (0,0) sweep."
     );
+    oslay_bench::flush_trace();
 }

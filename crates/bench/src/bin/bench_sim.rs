@@ -30,22 +30,31 @@ use oslay::cache::{Cache, CacheConfig};
 use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
 use oslay_bench::{run_args_with, run_figure12_matrix, scale_name};
 use oslay_observe::MetricRegistry;
-use oslay_perf::alloc::{self, CountingAlloc};
+use oslay_perf::alloc;
+use oslay_perf::history::{self, HistoryEntry};
 use oslay_perf::simbench::{validate, BenchCase, BenchReport};
 use oslay_tracestore::{CountingSink, TraceReader, TraceWriter};
 
-#[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
+// The counting allocator is installed by the `oslay_bench` library crate,
+// process-wide for every experiment binary.
 
 struct Args {
     config: StudyConfig,
     threads: usize,
     out: std::path::PathBuf,
+    history: Option<std::path::PathBuf>,
+    gate: bool,
+    gate_tolerance: f64,
+    gate_window: usize,
 }
 
 fn parse_args() -> Args {
     let mut out = std::path::PathBuf::from("BENCH_sim.json");
     let mut smoke = false;
+    let mut history = Some(std::path::PathBuf::from("results/bench_history.jsonl"));
+    let mut gate = false;
+    let mut gate_tolerance = 0.2;
+    let mut gate_window = 10;
     let common = run_args_with(StudyConfig::small(), |arg, rest| match arg {
         "--out" => {
             out = rest.pop_front().expect("--out needs a path").into();
@@ -55,12 +64,48 @@ fn parse_args() -> Args {
             smoke = true;
             true
         }
+        "--history" => {
+            history = Some(rest.pop_front().expect("--history needs a path").into());
+            true
+        }
+        "--no-history" => {
+            history = None;
+            true
+        }
+        "--gate" => {
+            gate = true;
+            true
+        }
+        "--gate-tolerance" => {
+            gate_tolerance = rest
+                .pop_front()
+                .expect("--gate-tolerance needs a value")
+                .parse()
+                .expect("--gate-tolerance must be a number in (0, 1)");
+            assert!(
+                gate_tolerance > 0.0 && gate_tolerance < 1.0,
+                "--gate-tolerance must be in (0, 1)"
+            );
+            true
+        }
+        "--gate-window" => {
+            gate_window = rest
+                .pop_front()
+                .expect("--gate-window needs a value")
+                .parse()
+                .expect("--gate-window must be an integer");
+            true
+        }
         _ => false,
     });
     let mut args = Args {
         config: common.config,
         threads: common.threads,
         out,
+        history,
+        gate,
+        gate_tolerance,
+        gate_window,
     };
     if smoke {
         // CI smoke: a trace of ~1k OS blocks (overrides --scale/--blocks).
@@ -232,4 +277,58 @@ fn main() {
         store_summary.bytes_per_event()
     );
     println!("Bench report: {}", args.out.display());
+
+    if let Some(history_path) = &args.history {
+        let gate_ok = record_history(&report, history_path, &args);
+        oslay_bench::flush_trace();
+        if !gate_ok {
+            std::process::exit(1);
+        }
+    } else {
+        oslay_bench::flush_trace();
+    }
+}
+
+/// Appends this run to the bench history and checks it against the
+/// rolling median of prior comparable runs. Returns `false` when the
+/// trend gate should fail the process (`--gate` and a regression).
+fn record_history(report: &BenchReport, path: &std::path::Path, args: &Args) -> bool {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let git_rev = history::read_git_rev(std::path::Path::new(".")).unwrap_or_default();
+    let entry =
+        HistoryEntry::from_bench(report, unix_secs, git_rev, history::machine_fingerprint());
+    let prior = history::load(path).expect("read bench history");
+    history::append(path, &entry).expect("append bench history");
+    println!();
+    println!(
+        "bench history: {} prior entries at {} ({})",
+        prior.len(),
+        path.display(),
+        entry.fingerprint
+    );
+    match history::trend_gate(&prior, &entry, args.gate_tolerance, args.gate_window) {
+        Ok(lines) => {
+            for line in lines {
+                println!("  {line}");
+            }
+            true
+        }
+        Err(regressions) => {
+            for line in regressions {
+                println!("  REGRESSION: {line}");
+            }
+            if args.gate {
+                eprintln!(
+                    "trend gate FAILED: throughput fell more than {:.0}% below the rolling median",
+                    args.gate_tolerance * 100.0
+                );
+                false
+            } else {
+                println!("  (informational: pass --gate to fail the run on regressions)");
+                true
+            }
+        }
+    }
 }

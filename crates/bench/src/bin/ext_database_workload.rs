@@ -114,6 +114,7 @@ fn main() {
          never profiled. The paper's claim that the popular kernel paths are shared across \
          workloads predicts the optimized layouts still help — the table above tests that."
     );
+    oslay_bench::flush_trace();
 }
 
 fn normalize(mut w: Vec<f64>, arity: usize) -> Vec<f64> {

@@ -119,4 +119,5 @@ fn main() {
          kernel's optimized layouts should not beat — and may lose to — plain OptS, whose \
          sequences interleave only the *hot* callee blocks at no size cost."
     );
+    oslay_bench::flush_trace();
 }

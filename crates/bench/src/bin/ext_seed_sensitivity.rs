@@ -92,4 +92,5 @@ fn main() {
         "OptS beats Base under every seed: {}",
         if opts_always_beats_base { "yes" } else { "NO" }
     );
+    oslay_bench::flush_trace();
 }

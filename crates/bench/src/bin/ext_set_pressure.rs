@@ -70,4 +70,5 @@ fn main() {
         "Expected shape: Base concentrates its misses in few sets (high cv, high top-8 \
          share); OptS spreads them (lower cv) and its SelfConfFree sets see almost no misses."
     );
+    oslay_bench::flush_trace();
 }

@@ -69,4 +69,5 @@ fn main() {
         print!("{}", bar_chart(&items, 48));
         println!();
     }
+    oslay_bench::flush_trace();
 }

@@ -76,4 +76,5 @@ fn main() {
         "Of the {considered} top-10 ranges across workloads, {shared} are touched by every \
          workload (popular routines are common to all)."
     );
+    oslay_bench::flush_trace();
 }

@@ -40,4 +40,5 @@ fn main() {
         })
         .collect();
     print!("{}", bar_chart(&items, 50));
+    oslay_bench::flush_trace();
 }

@@ -43,4 +43,5 @@ fn main() {
     println!("Executed static size (bytes):");
     let items: Vec<(String, f64)> = shape.sizes.rows().map(|(l, c, _)| (l, c as f64)).collect();
     print!("{}", bar_chart(&items, 40));
+    oslay_bench::flush_trace();
 }

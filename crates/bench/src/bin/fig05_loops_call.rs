@@ -42,4 +42,5 @@ fn main() {
     println!("Executed span including callee closure (bytes):");
     let items: Vec<(String, f64)> = shape.sizes.rows().map(|(l, c, _)| (l, c as f64)).collect();
     print!("{}", bar_chart(&items, 40));
+    oslay_bench::flush_trace();
 }

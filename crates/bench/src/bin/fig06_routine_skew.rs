@@ -38,4 +38,5 @@ fn main() {
     for (r, share) in skew.ranked.iter().take(12) {
         println!("  {:>5.1}%  {}", share, program.routine(*r).name());
     }
+    oslay_bench::flush_trace();
 }

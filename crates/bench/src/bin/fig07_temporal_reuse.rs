@@ -52,4 +52,5 @@ fn main() {
         print!("{}", bar_chart(&items, 40));
         println!();
     }
+    oslay_bench::flush_trace();
 }

@@ -47,4 +47,5 @@ fn main() {
         })
         .collect();
     print!("{}", bar_chart(&items, 40));
+    oslay_bench::flush_trace();
 }

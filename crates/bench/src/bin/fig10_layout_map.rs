@@ -81,4 +81,5 @@ fn main() {
             regions.last().unwrap().end
         );
     }
+    oslay_bench::flush_trace();
 }

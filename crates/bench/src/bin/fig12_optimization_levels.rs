@@ -70,4 +70,5 @@ fn main() {
     }
     let path = reporter.finish();
     println!("Run report: {}", path.display());
+    oslay_bench::flush_trace();
 }

@@ -129,4 +129,5 @@ fn main() {
     println!();
     let path = reporter.finish();
     println!("Run report: {}", path.display());
+    oslay_bench::flush_trace();
 }

@@ -92,4 +92,5 @@ fn main() {
         println!();
     }
     println!("(cells: misses normalized to Base = 100)");
+    oslay_bench::flush_trace();
 }

@@ -90,4 +90,5 @@ fn main() {
         .map(|&w| (format!("{w}-way"), CacheConfig::new(8192, 32, w)))
         .collect();
     sweep(&study, &ways, args.threads);
+    oslay_bench::flush_trace();
 }

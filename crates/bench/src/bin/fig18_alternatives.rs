@@ -77,4 +77,5 @@ fn main() {
     print!("{}", table.render());
     println!();
     println!("(cells: total misses normalized to Base = 100; OptA = OptS kernel + optimized app)");
+    oslay_bench::flush_trace();
 }

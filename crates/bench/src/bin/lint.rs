@@ -94,6 +94,7 @@ fn parse_args() -> LintArgs {
         }
         _ => false,
     });
+    oslay_bench::apply_run_args(&args);
     if layouts.is_empty() {
         layouts = ALL_LAYOUTS.iter().map(|s| (*s).to_owned()).collect();
     }
@@ -339,6 +340,7 @@ fn main() -> ExitCode {
             reports.len()
         );
     }
+    oslay_bench::flush_trace();
     if failed {
         ExitCode::FAILURE
     } else {

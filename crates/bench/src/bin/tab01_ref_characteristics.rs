@@ -70,4 +70,5 @@ fn main() {
     println!(
         "Paper: 18% of the code referenced, 26% of the routines invoked (~8,500 executed blocks)."
     );
+    oslay_bench::flush_trace();
 }

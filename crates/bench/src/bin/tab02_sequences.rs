@@ -73,4 +73,5 @@ fn main() {
         print!("{}", table.render());
         println!();
     }
+    oslay_bench::flush_trace();
 }

@@ -43,4 +43,5 @@ fn main() {
     println!();
     println!("Paper: 28.9-39.4% dynamic; ~3% of executed code; 0.1-0.4% of all code.");
     println!("Paper loop census (union): 156 loops without calls, 71 with calls.");
+    oslay_bench::flush_trace();
 }

@@ -65,4 +65,5 @@ fn main() {
         seqs.num_captured(),
         seqs.sequences().len()
     );
+    oslay_bench::flush_trace();
 }

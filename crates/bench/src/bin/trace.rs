@@ -26,7 +26,9 @@ use std::sync::Arc;
 use oslay::cache::{CacheConfig, MissKind};
 use oslay::{SimConfig, SimResult, Study, StudyConfig};
 use oslay_bench::archive::{record_archive, run_archived_figure12_matrix};
-use oslay_bench::{banner, figure12_ladder, parse_run_args, run_figure12_matrix, RunArgs};
+use oslay_bench::{
+    apply_run_args, banner, figure12_ladder, parse_run_args, run_figure12_matrix, RunArgs,
+};
 use oslay_observe::{MetricRegistry, RunReport};
 use oslay_tracestore::{CountingSink, StoreError, StoreSummary, StreamTotals, TraceReader};
 
@@ -69,7 +71,9 @@ fn main() -> ExitCode {
         _ => false,
     });
 
-    match cmd.as_str() {
+    apply_run_args(&args);
+
+    let code = match cmd.as_str() {
         "record" => record(&args, &dir),
         "inspect" => inspect(&dir, &files),
         "verify" => verify(&args, &dir, &files),
@@ -78,7 +82,9 @@ fn main() -> ExitCode {
             eprintln!("unknown subcommand {other:?}\n{USAGE}");
             ExitCode::from(2)
         }
-    }
+    };
+    oslay_bench::flush_trace();
+    code
 }
 
 /// The archive files to operate on: the explicit `--file` list, or every

@@ -335,10 +335,12 @@ pub fn run() {
     let args = parse_args();
     if args.check_results {
         check_results();
+        crate::flush_trace();
         return;
     }
     if args.compare.is_some() {
         compare_layouts(&args);
+        crate::flush_trace();
         return;
     }
     eprintln!("usage: diag --compare <base|ch|opts|optl|call> <...> [--case NAME] [--scale S]");

@@ -30,6 +30,25 @@ use oslay_model::synth::Scale;
 use oslay_model::Domain;
 use oslay_observe::{global_recorder, AttributionProbe, MetricRegistry, Probe, RunReport};
 
+/// Every experiment binary counts allocations: the counting allocator is
+/// a pair of relaxed atomic adds on top of the system allocator, cheap
+/// enough to leave on unconditionally, and it feeds both the `perf.alloc`
+/// report sections and the flight recorder's per-worker probe.
+#[global_allocator]
+static ALLOC: oslay_perf::alloc::CountingAlloc = oslay_perf::alloc::CountingAlloc;
+
+/// Flushes the flight recorder to the `--trace-out` path, if one was
+/// given. Idempotent and cheap when tracing is off; every experiment
+/// binary calls this once at the end of `main` (the [`Reporter`] path
+/// does it in [`Reporter::finish`]).
+pub fn flush_trace() {
+    match oslay_observe::flight::flush() {
+        Ok(Some(path)) => eprintln!("flight trace written: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("flight trace write failed: {e}"),
+    }
+}
+
 /// The common experiment arguments: study configuration plus the worker
 /// count for sharded execution.
 #[derive(Clone, Debug)]
@@ -44,6 +63,10 @@ pub struct RunArgs {
     /// Debug builds always verify; this flag opts release builds in. See
     /// [`oslay::set_layout_verify`].
     pub verify: bool,
+    /// Write a Chrome trace-event JSON flight recording here
+    /// (`--trace-out FILE`). `None` leaves the flight recorder disabled,
+    /// which is the zero-overhead default.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Parses the common experiment arguments (`--scale tiny|small|paper`,
@@ -71,10 +94,23 @@ where
     F: FnMut(&str, &mut VecDeque<String>) -> bool,
 {
     let args = parse_run_args(std::env::args().skip(1).collect(), default, extra);
+    apply_run_args(&args);
+    args
+}
+
+/// Applies the parsed arguments' process-wide side effects: layout
+/// verification (`--verify`) and flight-recorder activation
+/// (`--trace-out`). [`run_args_with`] calls this; binaries that parse an
+/// explicit queue through [`parse_run_args`] call it themselves.
+pub fn apply_run_args(args: &RunArgs) {
     if args.verify {
         oslay::set_layout_verify(true);
     }
-    args
+    if let Some(path) = &args.trace_out {
+        oslay_observe::flight::set_output(path);
+        oslay_observe::flight::set_thread_track("main");
+        oslay_perf::alloc::install_flight_probe();
+    }
 }
 
 /// The testable core of [`run_args_with`]: parses an explicit argument
@@ -93,6 +129,7 @@ where
         config: default,
         threads: oslay::exec::default_threads(),
         verify: false,
+        trace_out: None,
     };
     while let Some(arg) = argv.pop_front() {
         match arg.as_str() {
@@ -119,6 +156,10 @@ where
                 assert!(out.threads >= 1, "--threads must be >= 1");
             }
             "--verify" => out.verify = true,
+            "--trace-out" => {
+                let v = argv.pop_front().expect("--trace-out needs a file path");
+                out.trace_out = Some(PathBuf::from(v));
+            }
             other => {
                 assert!(extra(other, &mut argv), "unknown argument {other:?}");
             }
@@ -532,8 +573,21 @@ impl Reporter {
     pub fn finish(mut self) -> PathBuf {
         self.report.add_spans(global_recorder());
         self.report.add_metrics(&self.registry);
+        // Machine-dependent by nature, so the section carries the `perf.`
+        // prefix that `to_json_deterministic` strips.
+        let alloc = oslay_perf::alloc::snapshot();
+        self.report.add_section(
+            "perf.alloc",
+            [
+                ("alloc_calls", alloc.calls as f64),
+                ("alloc_bytes", alloc.bytes as f64),
+                ("live_bytes", alloc.live_bytes as f64),
+                ("peak_bytes", alloc.peak_bytes as f64),
+            ],
+        );
         let path = PathBuf::from(format!("results/{}.json", self.report.name()));
         self.report.write(&path).expect("write run report");
+        flush_trace();
         path
     }
 }
@@ -612,6 +666,25 @@ mod tests {
     fn ladder_matches_figure12() {
         let names: Vec<&str> = figure12_ladder().iter().map(|&(n, _, _)| n).collect();
         assert_eq!(names, ["Base", "C-H", "OptS", "OptL", "OptA"]);
+    }
+
+    #[test]
+    fn parse_trace_out_flag() {
+        let argv: VecDeque<String> = ["--trace-out", "/tmp/t.json", "--threads", "2"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let args = parse_run_args(argv, StudyConfig::tiny(), |_, _| false);
+        assert_eq!(
+            args.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert_eq!(args.threads, 2);
+        assert!(
+            parse_run_args(VecDeque::new(), StudyConfig::tiny(), |_, _| false)
+                .trace_out
+                .is_none()
+        );
     }
 
     #[test]

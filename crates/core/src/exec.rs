@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Default worker count: the machine's available parallelism (1 if it
 /// cannot be determined).
@@ -28,6 +29,16 @@ pub fn default_threads() -> usize {
 /// items) everything runs inline on the caller's thread — byte-for-byte
 /// the sequential behavior, no worker machinery at all.
 ///
+/// # Observability
+///
+/// Every call records `exec.parallel_map` plus one `exec.job.wait` /
+/// `exec.job.run` pair per job into the global span recorder — the
+/// *counts* are a pure function of the job list, so run reports stay
+/// identical at any worker count. When the flight recorder is enabled,
+/// each worker additionally registers a `worker-<w>` track and every job
+/// emits a per-worker `exec.job` flight span carrying its job index and
+/// queue-wait time, so a sharded run can be audited for load imbalance.
+///
 /// # Panics
 ///
 /// A panic inside `f` propagates to the caller (workers are joined by the
@@ -39,33 +50,66 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = items.len();
+    let _pm = oslay_observe::flight::span_with_args(
+        "exec.parallel_map",
+        &[("jobs", n as f64), ("threads", threads as f64)],
+    );
+    let epoch = Instant::now();
+    // Shared by the inline and the sharded path, so the recorder sees
+    // the same span names and counts regardless of the thread count.
+    let run_job = |i: usize, item: T| -> R {
+        let queued = epoch.elapsed();
+        let _job = oslay_observe::flight::span_with_args(
+            "exec.job",
+            &[
+                ("job", i as f64),
+                ("queue_wait_us", queued.as_secs_f64() * 1e6),
+            ],
+        );
+        let started = Instant::now();
+        let r = f(i, item);
+        let recorder = oslay_observe::global_recorder();
+        recorder.record("exec.job.run", started.elapsed());
+        recorder.record("exec.job.wait", queued);
+        r
+    };
     if threads <= 1 || n <= 1 {
-        return items
+        let out: Vec<R> = items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| run_job(i, t))
             .collect();
+        if n > 0 {
+            oslay_observe::global_recorder().record("exec.parallel_map", epoch.elapsed());
+        }
+        return out;
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..threads.min(n) {
+            let (run_job, slots, results, cursor) = (&run_job, &slots, &results, &cursor);
+            scope.spawn(move || {
+                oslay_observe::flight::set_thread_track(&format!("worker-{w}"));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("job slot")
+                        .take()
+                        .expect("job taken once");
+                    let r = run_job(i, item);
+                    *results[i].lock().expect("result slot") = Some(r);
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("job slot")
-                    .take()
-                    .expect("job taken once");
-                let r = f(i, item);
-                *results[i].lock().expect("result slot") = Some(r);
             });
         }
     });
+    oslay_observe::global_recorder().record("exec.parallel_map", epoch.elapsed());
+    let _merge = oslay_observe::flight::span("exec.merge");
     results
         .into_iter()
         .map(|m| m.into_inner().expect("result lock").expect("job ran"))

@@ -235,6 +235,78 @@ impl<C: InstructionCache + ?Sized> oslay_trace::TraceSink for Replayer<'_, C> {
     }
 }
 
+/// Forwards a trace stream unchanged to an inner sink, emitting flight
+/// recorder heartbeat counters every `every` events: events streamed so
+/// far (`sim.events`), instantaneous throughput (`sim.ev_per_s`), and —
+/// when an allocation probe is installed — the live heap size
+/// (`sim.live_bytes`).
+///
+/// The telemetry substrate for long streaming replays: a consumer can
+/// watch throughput evolve over a run instead of learning one aggregate
+/// number at the end. Only constructed while the flight recorder is
+/// enabled ([`Study::stream_case`] wraps its sink conditionally), so the
+/// hot path pays nothing when tracing is off — and the wrapped stream is
+/// bit-identical either way.
+pub struct HeartbeatSink<'a, S: oslay_trace::TraceSink + ?Sized> {
+    inner: &'a mut S,
+    every: u64,
+    seen: u64,
+    window_start: std::time::Instant,
+    window_seen: u64,
+}
+
+impl<S: oslay_trace::TraceSink + ?Sized> std::fmt::Debug for HeartbeatSink<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeartbeatSink")
+            .field("every", &self.every)
+            .field("seen", &self.seen)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, S: oslay_trace::TraceSink + ?Sized> HeartbeatSink<'a, S> {
+    /// Default heartbeat interval: one snapshot per ~1M events, frequent
+    /// enough to chart a run, far too coarse to perturb it.
+    pub const DEFAULT_EVERY: u64 = 1 << 20;
+
+    /// Wraps `inner`, beating every `every` events (min 1).
+    pub fn new(inner: &'a mut S, every: u64) -> Self {
+        Self {
+            inner,
+            every: every.max(1),
+            seen: 0,
+            window_start: std::time::Instant::now(),
+            window_seen: 0,
+        }
+    }
+
+    fn beat(&mut self) {
+        let dt = self.window_start.elapsed().as_secs_f64();
+        oslay_observe::flight::counter("sim.events", self.seen as f64);
+        if dt > 0.0 {
+            oslay_observe::flight::counter(
+                "sim.ev_per_s",
+                (self.seen - self.window_seen) as f64 / dt,
+            );
+        }
+        if let Some(alloc) = oslay_observe::flight::alloc_probe_sample() {
+            oslay_observe::flight::counter("sim.live_bytes", alloc.live_bytes as f64);
+        }
+        self.window_start = std::time::Instant::now();
+        self.window_seen = self.seen;
+    }
+}
+
+impl<S: oslay_trace::TraceSink + ?Sized> oslay_trace::TraceSink for HeartbeatSink<'_, S> {
+    fn event(&mut self, event: TraceEvent) {
+        self.inner.event(event);
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) {
+            self.beat();
+        }
+    }
+}
+
 impl Study {
     fn replayer_sizes(&self, case: &WorkloadCase) -> (usize, usize) {
         (

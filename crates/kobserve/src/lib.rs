@@ -19,6 +19,11 @@
 //!   (serializer *and* parser, no serde) for machine-readable results
 //!   written beside the human-readable `.txt` figures, plus
 //!   [`compare`] for regression checking between runs.
+//! * **Flight recorder** ([`flight`]) — an opt-in structured tracer:
+//!   hierarchical spans with per-thread/worker attribution, heartbeat
+//!   counters, and a Chrome trace-event / Perfetto exporter. When
+//!   enabled, every [`span`] also records a flight span; when disabled
+//!   it costs one atomic load.
 //!
 //! Metric names are namespaced by pipeline stage: `trace.*`, `cache.*`,
 //! `layout.*`, `study.*` (see `DESIGN.md` at the repository root).
@@ -31,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod audit;
+pub mod flight;
 pub mod json;
 mod metrics;
 mod report;

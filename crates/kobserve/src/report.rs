@@ -239,19 +239,32 @@ impl RunReport {
     }
 
     /// Serializes the report to a JSON value with every wall-clock field
-    /// removed: span entries keep their name and count but drop `secs`.
+    /// removed, keeping all deterministic *content*:
+    ///
+    /// * span entries keep their name and count but drop `secs` (the
+    ///   only per-span field that varies run to run);
+    /// * counters, gauges, histograms, and section values are kept in
+    ///   full — a simulation-content difference between two runs *must*
+    ///   change these bytes;
+    /// * sections whose name starts with `perf.` are dropped entirely:
+    ///   that namespace is reserved for self-measurement (allocation
+    ///   counts, machine-local timing) that legitimately differs between
+    ///   an archived replay and a live run.
     ///
     /// Two runs of a deterministic experiment produce byte-identical
-    /// output from this serialization (timing is the only field that
-    /// varies run to run), so it is what reproducibility gates diff —
-    /// `ci.sh` compares archived-replay reports against live ones with
-    /// it, at several worker counts.
+    /// output from this serialization, so it is what reproducibility
+    /// gates diff — `ci.sh` compares archived-replay reports against
+    /// live ones with it, at several worker counts — and any metric or
+    /// section divergence shows up as a content diff, not a silent pass.
     #[must_use]
     pub fn to_json_deterministic(&self) -> JsonValue {
         let mut v = self.to_json();
-        if let JsonValue::Object(members) = &mut v {
-            for (key, val) in members.iter_mut() {
-                if key == "spans" {
+        let JsonValue::Object(members) = &mut v else {
+            unreachable!("to_json always builds an object");
+        };
+        for (key, val) in members.iter_mut() {
+            match key.as_str() {
+                "spans" => {
                     *val = JsonValue::Array(
                         self.spans
                             .iter()
@@ -264,6 +277,12 @@ impl RunReport {
                             .collect(),
                     );
                 }
+                "sections" => {
+                    if let JsonValue::Object(sections) = val {
+                        sections.retain(|(name, _)| !name.starts_with("perf."));
+                    }
+                }
+                _ => {}
             }
         }
         v
@@ -640,6 +659,49 @@ mod tests {
         report2.add_spans(&recorder2);
         report2.add_section("fig12.shell", [("Base", 0.071)]);
         assert_eq!(text, report2.to_json_deterministic().to_json_pretty());
+    }
+
+    #[test]
+    fn deterministic_json_detects_content_differences() {
+        // Archived-vs-live gates diff this serialization, so a metric or
+        // section *value* change must change the bytes.
+        let make = |evictions: u64, base: f64| {
+            let registry = MetricRegistry::new();
+            registry.counter_add("cache.evictions", evictions);
+            registry.gauge_set("cache.miss_rate", 0.05);
+            registry.histogram_record("trace.invocation_blocks", 17);
+            let mut r = RunReport::new("r");
+            r.add_metrics(&registry);
+            r.add_section("fig12.shell", [("Base", base)]);
+            r
+        };
+        let a = make(42, 0.071).to_json_deterministic().to_json_pretty();
+        assert_eq!(a, make(42, 0.071).to_json_deterministic().to_json_pretty());
+        assert_ne!(
+            a,
+            make(43, 0.071).to_json_deterministic().to_json_pretty(),
+            "counter value difference must be visible"
+        );
+        assert_ne!(
+            a,
+            make(42, 0.072).to_json_deterministic().to_json_pretty(),
+            "section value difference must be visible"
+        );
+        // Full metric content survives, not just names.
+        assert!(a.contains("\"cache.evictions\": 42"), "{a}");
+        assert!(a.contains("\"cache.miss_rate\": 0.05"), "{a}");
+        assert!(a.contains("trace.invocation_blocks"), "{a}");
+    }
+
+    #[test]
+    fn deterministic_json_excludes_perf_sections() {
+        let mut r = report_with(0.05);
+        r.add_section("perf.alloc", [("alloc_calls", 123.0)]);
+        let full = r.to_json().to_json_pretty();
+        assert!(full.contains("perf.alloc"), "full JSON keeps perf.alloc");
+        let det = r.to_json_deterministic().to_json_pretty();
+        assert!(!det.contains("perf.alloc"), "{det}");
+        assert!(det.contains("fig12.cc1"), "other sections survive");
     }
 
     #[test]

@@ -36,12 +36,18 @@ impl Recorder {
     }
 
     /// Starts a span that reports into this recorder when dropped.
+    ///
+    /// While the [`crate::flight`] recorder is enabled, the same scope
+    /// also records a hierarchical flight span (with parent/child and
+    /// per-thread attribution); when it is disabled the extra cost is
+    /// one atomic load.
     #[must_use]
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
         SpanGuard {
             recorder: self,
             name: name.to_owned(),
             start: Instant::now(),
+            _flight: crate::flight::span(name),
         }
     }
 
@@ -85,6 +91,10 @@ pub struct SpanGuard<'r> {
     recorder: &'r Recorder,
     name: String,
     start: Instant,
+    // Mirrors the scope into the flight recorder when tracing is on
+    // (inert otherwise). Dropped after the recorder entry is written;
+    // both measure with their own clocks.
+    _flight: crate::flight::FlightGuard,
 }
 
 impl Drop for SpanGuard<'_> {

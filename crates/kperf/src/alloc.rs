@@ -15,6 +15,7 @@
 //! whole point of the dense simulation hot path).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -22,11 +23,23 @@ static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Per-thread mirrors of the call/byte counters, so the flight
+    // recorder can attribute allocations to the span (and worker) that
+    // made them. Const-initialized `Cell<u64>` carries no destructor, so
+    // touching it from inside the allocator cannot recurse or trip TLS
+    // teardown; `try_with` covers the late-thread-death edge anyway.
+    static THREAD_CALLS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
 fn on_alloc(size: usize) {
     ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
     ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
     let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
     PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    let _ = THREAD_CALLS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_BYTES.try_with(|b| b.set(b.get() + size as u64));
 }
 
 fn on_dealloc(size: usize) {
@@ -125,6 +138,34 @@ pub fn reset_peak() {
     PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Reads the *current thread's* allocation counters: `(calls, bytes)`
+/// since the thread started. All zeros unless [`CountingAlloc`] is
+/// installed.
+#[must_use]
+pub fn thread_snapshot() -> (u64, u64) {
+    (
+        THREAD_CALLS.try_with(Cell::get).unwrap_or(0),
+        THREAD_BYTES.try_with(Cell::get).unwrap_or(0),
+    )
+}
+
+fn flight_probe() -> oslay_observe::flight::AllocSample {
+    let (calls, bytes) = thread_snapshot();
+    oslay_observe::flight::AllocSample {
+        calls,
+        bytes,
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Registers [`thread_snapshot`] as the flight recorder's allocation
+/// probe, so every flight span records the allocation calls/bytes its
+/// thread performed (`kobserve` stays dependency-free; this crate
+/// supplies the implementation). Idempotent.
+pub fn install_flight_probe() {
+    oslay_observe::flight::set_alloc_probe(flight_probe);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +206,41 @@ mod tests {
         let delta = snapshot().delta_from(&before);
         assert_eq!(delta.calls, 2, "alloc + realloc");
         assert_eq!(delta.bytes, 64 + 256);
+    }
+
+    #[test]
+    fn thread_counters_track_this_thread_only() {
+        let layout = Layout::from_size_align(128, 8).unwrap();
+        let (c0, b0) = thread_snapshot();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            CountingAlloc.dealloc(p, layout);
+        }
+        let (c1, b1) = thread_snapshot();
+        assert_eq!(c1, c0 + 1);
+        assert_eq!(b1, b0 + 128);
+        // A sibling thread's allocations do not leak into our counters.
+        std::thread::spawn(move || unsafe {
+            let p = CountingAlloc.alloc(layout);
+            CountingAlloc.dealloc(p, layout);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(thread_snapshot(), (c1, b1));
+    }
+
+    #[test]
+    fn flight_probe_reports_thread_counters() {
+        install_flight_probe();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let before = oslay_observe::flight::alloc_probe_sample().expect("probe installed");
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            CountingAlloc.dealloc(p, layout);
+        }
+        let after = oslay_observe::flight::alloc_probe_sample().expect("probe installed");
+        assert_eq!(after.calls, before.calls + 1);
+        assert_eq!(after.bytes, before.bytes + 64);
     }
 
     #[test]

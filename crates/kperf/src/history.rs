@@ -1,0 +1,514 @@
+//! The bench history store and perf-trend regression gate.
+//!
+//! `bench_sim` appends one line per run to
+//! `results/bench_history.jsonl` — machine fingerprint, git revision,
+//! and per-case throughput/allocation figures — so the engine's perf
+//! trajectory is a queryable series instead of a single overwritten
+//! snapshot ([`crate::simbench`]'s `BENCH_sim.json`).
+//!
+//! [`trend_gate`] then compares the newest run against the **rolling
+//! median** of comparable prior runs (same fingerprint, scale, and
+//! thread count) and fails when any case's throughput drops below
+//! tolerance. The comparison itself is delegated to
+//! [`oslay_observe::compare`]: throughput is inverted to
+//! nanoseconds-per-event so the checker's lower-is-better convention
+//! applies unchanged. The median (not the last run) is the baseline so
+//! one noisy sample can neither mask nor fake a regression.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use oslay_observe::json::{self, JsonValue};
+use oslay_observe::RunReport;
+
+use crate::simbench::BenchReport;
+
+/// One measured case in a history entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryCase {
+    /// Case label (e.g. `stream_base`).
+    pub name: String,
+    /// Replay throughput, events per second.
+    pub events_per_sec: f64,
+    /// Allocator calls during the measured region.
+    pub allocs: u64,
+    /// Peak live heap bytes over the measured region.
+    pub peak_bytes: u64,
+}
+
+/// One bench run in the history trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_secs: u64,
+    /// Git revision of the working tree (`unknown` outside a checkout).
+    pub git_rev: String,
+    /// Machine fingerprint from [`machine_fingerprint`].
+    pub fingerprint: String,
+    /// Scale label (`tiny`/`small`/`paper`).
+    pub scale: String,
+    /// Worker threads the run used.
+    pub threads: u64,
+    /// The measured cases.
+    pub cases: Vec<HistoryCase>,
+}
+
+impl HistoryEntry {
+    /// Builds an entry from a finished bench report plus provenance.
+    #[must_use]
+    pub fn from_bench(
+        report: &BenchReport,
+        unix_secs: u64,
+        git_rev: String,
+        fingerprint: String,
+    ) -> Self {
+        Self {
+            unix_secs,
+            git_rev,
+            fingerprint,
+            scale: report.scale.clone(),
+            threads: report.threads,
+            cases: report
+                .cases
+                .iter()
+                .map(|c| HistoryCase {
+                    name: c.name.clone(),
+                    events_per_sec: c.events_per_sec(),
+                    allocs: c.allocs,
+                    peak_bytes: c.peak_bytes,
+                })
+                .collect(),
+        }
+    }
+
+    /// Throughput of a named case, if this run measured it.
+    #[must_use]
+    pub fn events_per_sec(&self, case: &str) -> Option<f64> {
+        self.cases
+            .iter()
+            .find(|c| c.name == case)
+            .map(|c| c.events_per_sec)
+    }
+
+    /// Serializes the entry as one compact JSON line (no newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        JsonValue::object([
+            (
+                "unix_secs".to_owned(),
+                JsonValue::Num(self.unix_secs as f64),
+            ),
+            ("git_rev".to_owned(), JsonValue::Str(self.git_rev.clone())),
+            (
+                "fingerprint".to_owned(),
+                JsonValue::Str(self.fingerprint.clone()),
+            ),
+            ("scale".to_owned(), JsonValue::Str(self.scale.clone())),
+            ("threads".to_owned(), JsonValue::Num(self.threads as f64)),
+            (
+                "cases".to_owned(),
+                JsonValue::Array(
+                    self.cases
+                        .iter()
+                        .map(|c| {
+                            JsonValue::object([
+                                ("name".to_owned(), JsonValue::Str(c.name.clone())),
+                                (
+                                    "events_per_sec".to_owned(),
+                                    JsonValue::Num(c.events_per_sec),
+                                ),
+                                ("allocs".to_owned(), JsonValue::Num(c.allocs as f64)),
+                                ("peak_bytes".to_owned(), JsonValue::Num(c.peak_bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses one history line back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        let mut cases = Vec::new();
+        for c in v
+            .get("cases")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing cases")?
+        {
+            cases.push(HistoryCase {
+                name: c
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("case without name")?
+                    .to_owned(),
+                events_per_sec: c
+                    .get("events_per_sec")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("case without events_per_sec")?,
+                allocs: c.get("allocs").and_then(JsonValue::as_u64).unwrap_or(0),
+                peak_bytes: c.get("peak_bytes").and_then(JsonValue::as_u64).unwrap_or(0),
+            });
+        }
+        Ok(Self {
+            unix_secs: v
+                .get("unix_secs")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing unix_secs")?,
+            git_rev: str_field("git_rev")?,
+            fingerprint: str_field("fingerprint")?,
+            scale: str_field("scale")?,
+            threads: v
+                .get("threads")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing threads")?,
+            cases,
+        })
+    }
+}
+
+/// A coarse machine identity — OS, architecture, logical CPU count —
+/// so the trend gate only compares runs from comparable machines.
+#[must_use]
+pub fn machine_fingerprint() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    format!(
+        "{}-{}-{}cpu",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cpus
+    )
+}
+
+/// Reads the current git revision by following `.git/HEAD` upward from
+/// `start` — no `git` subprocess, so it works on an air-gapped machine.
+/// Returns `None` outside a checkout.
+#[must_use]
+pub fn read_git_rev(start: &Path) -> Option<String> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let head = d.join(".git/HEAD");
+        if let Ok(text) = std::fs::read_to_string(&head) {
+            let text = text.trim();
+            if let Some(refname) = text.strip_prefix("ref: ") {
+                let target = d.join(".git").join(refname);
+                if let Ok(rev) = std::fs::read_to_string(target) {
+                    return Some(rev.trim().to_owned());
+                }
+                // Packed refs: fall back to the symbolic name.
+                return Some(refname.to_owned());
+            }
+            return Some(text.to_owned());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Appends one entry to a `.jsonl` history file, creating it (and parent
+/// directories) as needed.
+///
+/// # Errors
+///
+/// Returns any filesystem error.
+pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", entry.to_json_line())
+}
+
+/// Loads a history file, oldest entry first. Malformed lines are
+/// skipped (a half-written line from a crashed run must not wedge the
+/// gate forever); blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns any filesystem error. A missing file is an empty history.
+pub fn load(path: &Path) -> std::io::Result<Vec<HistoryEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| HistoryEntry::parse(l).ok())
+        .collect())
+}
+
+fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    Some(values[values.len() / 2])
+}
+
+const NS: f64 = 1e9;
+
+/// Gates `current` against the rolling median of the last `window`
+/// comparable history entries (same fingerprint, scale, and threads).
+///
+/// Returns one human-readable line per gated case on success. A case
+/// with no comparable history passes (and says so) — the gate becomes
+/// effective from the second run on a machine onward.
+///
+/// # Errors
+///
+/// Returns one line per regressed case when any case's throughput is
+/// more than `tolerance` below its rolling median (e.g. tolerance 0.2
+/// fails a case at < 80% of the median throughput).
+pub fn trend_gate(
+    history: &[HistoryEntry],
+    current: &HistoryEntry,
+    tolerance: f64,
+    window: usize,
+) -> Result<Vec<String>, Vec<String>> {
+    let comparable: Vec<&HistoryEntry> = history
+        .iter()
+        .filter(|h| {
+            h.fingerprint == current.fingerprint
+                && h.scale == current.scale
+                && h.threads == current.threads
+        })
+        .collect();
+    let mut baseline = RunReport::new("trend_baseline");
+    let mut latest = RunReport::new("trend_current");
+    let mut info = Vec::new();
+    let mut medians: Vec<(String, f64)> = Vec::new();
+    for case in &current.cases {
+        let mut series: Vec<f64> = comparable
+            .iter()
+            .rev()
+            .take(window)
+            .filter_map(|h| h.events_per_sec(&case.name))
+            .collect();
+        let Some(med) = median(&mut series) else {
+            info.push(format!(
+                "{}: no comparable history yet ({} ev/s recorded)",
+                case.name,
+                fmt_rate(case.events_per_sec)
+            ));
+            continue;
+        };
+        // `compare` flags lower-is-better fields, so gate on ns/event.
+        baseline.add_section(
+            &format!("trend.{}", case.name),
+            [("ns_per_event", NS / med)],
+        );
+        latest.add_section(
+            &format!("trend.{}", case.name),
+            [("ns_per_event", NS / case.events_per_sec)],
+        );
+        medians.push((case.name.clone(), med));
+    }
+    // tolerance is a fractional throughput *drop*; convert to the
+    // equivalent relative increase in time-per-event.
+    let time_tolerance = if tolerance < 1.0 {
+        tolerance / (1.0 - tolerance)
+    } else {
+        f64::INFINITY
+    };
+    let regressions = oslay_observe::compare(&baseline, &latest, time_tolerance);
+    if regressions.is_empty() {
+        for (name, med) in &medians {
+            let cur = current.events_per_sec(name).unwrap_or(0.0);
+            info.push(format!(
+                "{}: {} ev/s vs median {} ev/s over {} run(s) — ok",
+                name,
+                fmt_rate(cur),
+                fmt_rate(*med),
+                comparable.len().min(window)
+            ));
+        }
+        return Ok(info);
+    }
+    Err(regressions
+        .iter()
+        .map(|r| {
+            let name = r
+                .path
+                .strip_prefix("trend.")
+                .and_then(|p| p.strip_suffix(".ns_per_event"))
+                .unwrap_or(&r.path);
+            let med = medians
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0.0, |&(_, m)| m);
+            let cur = current.events_per_sec(name).unwrap_or(0.0);
+            format!(
+                "{name}: {} ev/s is {:.1}% below the rolling median {} ev/s (tolerance {:.0}%)",
+                fmt_rate(cur),
+                100.0 * (1.0 - cur / med),
+                fmt_rate(med),
+                tolerance * 100.0
+            )
+        })
+        .collect())
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rate: f64) -> HistoryEntry {
+        HistoryEntry {
+            unix_secs: 1_700_000_000,
+            git_rev: "abc123".to_owned(),
+            fingerprint: "linux-x86_64-8cpu".to_owned(),
+            scale: "tiny".to_owned(),
+            threads: 2,
+            cases: vec![
+                HistoryCase {
+                    name: "stream_base".to_owned(),
+                    events_per_sec: rate,
+                    allocs: 10,
+                    peak_bytes: 1 << 20,
+                },
+                HistoryCase {
+                    name: "matrix_2t".to_owned(),
+                    events_per_sec: rate * 3.0,
+                    allocs: 99,
+                    peak_bytes: 1 << 22,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_jsonl() {
+        let e = entry(250e6);
+        let parsed = HistoryEntry::parse(&e.to_json_line()).expect("parse back");
+        assert_eq!(parsed, e);
+        assert!(HistoryEntry::parse("{}").is_err());
+        assert!(HistoryEntry::parse("not json").is_err());
+    }
+
+    #[test]
+    fn append_and_load_skip_malformed_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "kperf_history_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let path = dir.join("bench_history.jsonl");
+        assert!(load(&path).expect("missing file is empty").is_empty());
+        append(&path, &entry(100e6)).unwrap();
+        append(&path, &entry(110e6)).unwrap();
+        // A torn line from a crashed writer must not wedge the history.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{{\"unix_secs\": 12, truncat"))
+            .unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].events_per_sec("stream_base"), Some(100e6));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_passes_steady_state_and_first_run() {
+        // First run: no history at all.
+        let info = trend_gate(&[], &entry(100e6), 0.2, 10).expect("first run passes");
+        assert!(info.iter().all(|l| l.contains("no comparable history")));
+        // Steady state within noise.
+        let history = vec![entry(100e6), entry(104e6), entry(96e6)];
+        let info = trend_gate(&history, &entry(99e6), 0.2, 10).expect("within tolerance");
+        assert!(info.iter().any(|l| l.contains("ok")), "{info:?}");
+    }
+
+    #[test]
+    fn gate_fails_a_real_throughput_drop() {
+        let history = vec![entry(100e6), entry(102e6), entry(98e6)];
+        let errs = trend_gate(&history, &entry(60e6), 0.2, 10).expect_err("40% drop fails");
+        assert!(errs.iter().any(|l| l.contains("stream_base")), "{errs:?}");
+        // Exactly at the median is never a regression, even at zero
+        // tolerance.
+        trend_gate(&history, &entry(100e6), 0.0, 10).expect("median itself passes");
+    }
+
+    #[test]
+    fn gate_ignores_incomparable_machines() {
+        let mut other = entry(500e6);
+        other.fingerprint = "otheros-riscv64-1cpu".to_owned();
+        let info = trend_gate(&[other], &entry(100e6), 0.2, 10).expect("different machine");
+        assert!(info.iter().all(|l| l.contains("no comparable history")));
+    }
+
+    #[test]
+    fn gate_uses_rolling_median_not_last_sample() {
+        // One freak fast run must not fail every later normal run.
+        let history = vec![entry(100e6), entry(101e6), entry(99e6), entry(400e6)];
+        trend_gate(&history, &entry(100e6), 0.2, 10).expect("median absorbs the outlier");
+        // And the window bounds how far back the gate looks.
+        let old_slow: Vec<HistoryEntry> = (0..20).map(|_| entry(10e6)).collect();
+        let recent: Vec<HistoryEntry> = old_slow
+            .into_iter()
+            .chain((0..5).map(|_| entry(100e6)))
+            .collect();
+        let errs = trend_gate(&recent, &entry(50e6), 0.2, 5).expect_err("gated on recent window");
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_and_git_rev_are_well_formed() {
+        let fp = machine_fingerprint();
+        assert!(fp.contains("cpu"), "{fp}");
+        // In this repository there is a .git to find.
+        if let Some(rev) = read_git_rev(Path::new(".")) {
+            assert!(!rev.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_bench_carries_cases_over() {
+        use crate::simbench::{BenchCase, BenchReport};
+        let mut b = BenchReport::new("tiny", 2);
+        b.push_case(BenchCase {
+            name: "stream_base".to_owned(),
+            events: 1_000_000,
+            secs: 0.01,
+            allocs: 5,
+            alloc_bytes: 640,
+            peak_bytes: 1 << 21,
+        });
+        let e = HistoryEntry::from_bench(&b, 42, "rev".into(), "fp".into());
+        assert_eq!(e.scale, "tiny");
+        assert_eq!(e.threads, 2);
+        assert_eq!(e.events_per_sec("stream_base"), Some(100e6));
+        assert_eq!(e.cases[0].allocs, 5);
+    }
+}

@@ -16,6 +16,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod alloc;
+pub mod history;
 pub mod simbench;
 
 /// The simple machine model.

@@ -323,6 +323,12 @@ impl<W: Write> TraceWriter<W> {
         if events == 0 {
             return Ok(());
         }
+        // Flight-only: block cadence varies with buffering, so it must
+        // never reach the deterministic span recorder.
+        let _g = oslay_observe::flight::span_with_args(
+            "tracestore.encode.block",
+            &[("events", f64::from(events))],
+        );
         let crc = crc32(&payload);
         let len = u32::try_from(payload.len()).expect("block payload fits u32");
         self.inner.write_all(&len.to_le_bytes())?;
@@ -625,6 +631,10 @@ impl<R: Read + Seek> TraceReader<R> {
     ) -> Result<u32, StoreError> {
         let entry = self.index[block];
         let of = self.index.len();
+        let _g = oslay_observe::flight::span_with_args(
+            "tracestore.decode.block",
+            &[("block", block as f64), ("events", f64::from(entry.events))],
+        );
         let corrupt = |detail: String| StoreError::CorruptBlock { block, of, detail };
         self.inner.seek(SeekFrom::Start(entry.offset))?;
         let mut frame = [0u8; 8];
