@@ -166,4 +166,56 @@ fi
 grep -q "corrupt block" "$tmpdir/verify_err.txt"
 rm -rf "$tmpdir"
 
+echo "== telemetry gate: inert probes, worker-invariant timeline, dash 0/1 =="
+tmpdir="$(mktemp -d)"
+repo_root="$PWD"
+(
+  cd "$tmpdir"
+  mkdir -p results
+  # Baseline: telemetry off.
+  cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+    -p oslay-bench --bin fig12_optimization_levels -- \
+    --scale tiny --threads 2 > plain.txt 2> /dev/null
+  mv results/fig12_optimization_levels.json report_plain.json
+  # Telemetry on, at 1 and 2 workers.
+  for t in 1 2; do
+    cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+      -p oslay-bench --bin fig12_optimization_levels -- \
+      --scale tiny --threads "$t" --telemetry-out "tel$t.json" \
+      > "out$t.txt" 2> /dev/null
+    mv results/fig12_optimization_levels.json "report$t.json"
+  done
+)
+# Telemetry must not perturb the experiment: stdout identical with the
+# probe off, on at 1 worker, and on at 2 workers...
+diff "$tmpdir/plain.txt" "$tmpdir/out1.txt"
+diff "$tmpdir/out1.txt" "$tmpdir/out2.txt"
+# ...and the deterministic report fields must not change either.
+nondet='"(secs|alloc_calls|alloc_bytes|live_bytes|peak_bytes)"'
+diff <(grep -vE "$nondet" "$tmpdir/report_plain.json") \
+     <(grep -vE "$nondet" "$tmpdir/report1.json")
+diff <(grep -vE "$nondet" "$tmpdir/report1.json") \
+     <(grep -vE "$nondet" "$tmpdir/report2.json")
+# The telemetry stream itself is simulated-time only, so worker count
+# must not leak into it: byte-identical at 1 vs 2 workers.
+cmp "$tmpdir/tel1.json" "$tmpdir/tel2.json"
+# The dashboard validator accepts a fresh document (exit 0)...
+cargo run --release -q -p oslay-bench --bin dash -- \
+  --check --telemetry "$tmpdir/tel1.json"
+# ...renders it through both views...
+cargo run --release -q -p oslay-bench --bin dash -- \
+  --term --telemetry "$tmpdir/tel1.json" > /dev/null
+cargo run --release -q -p oslay-bench --bin dash -- \
+  --telemetry "$tmpdir/tel1.json" --results "$tmpdir" \
+  --history "$tmpdir/no_history.jsonl" --out "$tmpdir/dash.html" > /dev/null
+grep -q '<svg' "$tmpdir/dash.html"
+# ...and rejects a truncated document with exit 1.
+head -c 120 "$tmpdir/tel1.json" > "$tmpdir/broken.json"
+if cargo run --release -q -p oslay-bench --bin dash -- \
+    --check --telemetry "$tmpdir/broken.json" > /dev/null 2>&1; then
+  echo "dash --check accepted a truncated telemetry document" >&2
+  exit 1
+fi
+rm -rf "$tmpdir"
+
 echo "CI OK"

@@ -144,9 +144,16 @@ pub fn run_archived_figure12_matrix(
         .collect();
     let ladder_ref = &ladder;
     let layouts_ref = &layouts;
-    let sharded = oslay::exec::parallel_map(threads, jobs, move |_, (c, l)| {
+    // Same timeline contract as the live matrix: one group allocated
+    // before the fan-out, one scope per job in job-index order, so an
+    // archived replay's telemetry document is byte-identical to a live
+    // run's at any worker count.
+    let group = oslay_observe::timeline::group();
+    let sharded = oslay::exec::parallel_map(threads, jobs, move |i, (c, l)| {
         let case = &study.cases()[c];
-        let (_, kind, side) = ladder_ref[l];
+        let (level, kind, side) = ladder_ref[l];
+        let _t =
+            oslay_observe::timeline::scope(group, i as u64, format!("{}/{level}", case.name()));
         let os = &layouts_ref
             .iter()
             .find(|&&(k, _)| k == kind)

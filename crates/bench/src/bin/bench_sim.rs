@@ -308,6 +308,29 @@ fn record_history(report: &BenchReport, path: &std::path::Path, args: &Args) -> 
         path.display(),
         entry.fingerprint
     );
+    // On a fresh clone (or first run on this machine/scale/threads)
+    // there is nothing to gate against: this run *seeds* the trajectory
+    // rather than being judged by an empty one. Say so explicitly and
+    // pass — the gate becomes effective from the next comparable run.
+    let comparable = prior
+        .iter()
+        .filter(|h| {
+            h.fingerprint == entry.fingerprint
+                && h.scale == entry.scale
+                && h.threads == entry.threads
+        })
+        .count();
+    if comparable == 0 {
+        println!(
+            "  no comparable baseline ({}, scale {}, {} thread(s)) — seeded {} with this run; \
+             the trend gate takes effect from the next run",
+            entry.fingerprint,
+            entry.scale,
+            entry.threads,
+            path.display()
+        );
+        return true;
+    }
     match history::trend_gate(&prior, &entry, args.gate_tolerance, args.gate_window) {
         Ok(lines) => {
             for line in lines {

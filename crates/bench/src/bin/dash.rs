@@ -1,0 +1,421 @@
+//! Zero-dependency run-report dashboard.
+//!
+//! Aggregates three artifact families into one view:
+//!
+//! * simulated-time telemetry documents (`--telemetry-out` output),
+//! * `results/*.json` run reports, and
+//! * the `results/bench_history.jsonl` perf trajectory,
+//!
+//! rendered as a single self-contained HTML+SVG page (no external
+//! scripts, fonts, or network), an ASCII terminal view (`--term`), or a
+//! strict validator (`--check`, the CI gate: exit 0 iff every telemetry
+//! file passes schema and monotonicity validation).
+//!
+//! ```text
+//! dash --check --telemetry results/telemetry.json
+//! dash --term  --telemetry results/telemetry.json
+//! dash --telemetry results/telemetry.json --results results \
+//!      --history results/bench_history.jsonl --out dash.html
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oslay_analysis::dash::{html_escape, svg_heat_strip, svg_sparkline, text_sparkline, Band};
+use oslay_observe::json::JsonValue;
+use oslay_observe::timeline::{validate_telemetry, TelemetryDoc, TelemetryRun};
+use oslay_observe::RunReport;
+use oslay_perf::history::{self, HistoryEntry};
+
+struct Args {
+    telemetry: Vec<PathBuf>,
+    results: PathBuf,
+    history: PathBuf,
+    out: PathBuf,
+    term: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dash [--check|--term] [--telemetry FILE]... [--results DIR] \
+         [--history FILE] [--out FILE]\n\
+         \x20 --telemetry FILE  telemetry document(s) from --telemetry-out (repeatable)\n\
+         \x20 --results DIR     run-report directory (default: results)\n\
+         \x20 --history FILE    bench trajectory (default: results/bench_history.jsonl)\n\
+         \x20 --out FILE        HTML output path (default: dash.html)\n\
+         \x20 --check           validate telemetry files; exit 0 iff all pass\n\
+         \x20 --term            render to the terminal instead of HTML"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv: std::collections::VecDeque<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        telemetry: Vec::new(),
+        results: PathBuf::from("results"),
+        history: PathBuf::from("results/bench_history.jsonl"),
+        out: PathBuf::from("dash.html"),
+        term: false,
+        check: false,
+    };
+    while let Some(arg) = argv.pop_front() {
+        match arg.as_str() {
+            "--telemetry" => match argv.pop_front() {
+                Some(v) => args.telemetry.push(PathBuf::from(v)),
+                None => usage(),
+            },
+            "--results" => match argv.pop_front() {
+                Some(v) => args.results = PathBuf::from(v),
+                None => usage(),
+            },
+            "--history" => match argv.pop_front() {
+                Some(v) => args.history = PathBuf::from(v),
+                None => usage(),
+            },
+            "--out" => match argv.pop_front() {
+                Some(v) => args.out = PathBuf::from(v),
+                None => usage(),
+            },
+            "--term" => args.term = true,
+            "--check" => args.check = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.check {
+        return check(&args);
+    }
+    let docs = load_docs(&args);
+    if args.term {
+        render_term(&docs);
+        return ExitCode::SUCCESS;
+    }
+    let html = render_html(&args, &docs);
+    if let Some(parent) = args.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&args.out, html) {
+        Ok(()) => {
+            println!("dashboard written: {}", args.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dash: cannot write {}: {e}", args.out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--check` gate: every telemetry file must read and validate.
+fn check(args: &Args) -> ExitCode {
+    if args.telemetry.is_empty() {
+        eprintln!("dash --check: no --telemetry files given");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &args.telemetry {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match validate_telemetry(&text) {
+                Ok(stats) => println!(
+                    "{}: ok — {} run(s), {} frame(s), {} phase(s), {} event(s)",
+                    path.display(),
+                    stats.runs,
+                    stats.frames,
+                    stats.phases,
+                    stats.events
+                ),
+                Err(e) => {
+                    eprintln!("{}: INVALID — {e}", path.display());
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: unreadable — {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Loads every telemetry document, skipping unreadable/invalid files
+/// with a warning (rendering is best-effort; `--check` is the gate).
+fn load_docs(args: &Args) -> Vec<(PathBuf, TelemetryDoc)> {
+    let mut docs = Vec::new();
+    for path in &args.telemetry {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match TelemetryDoc::parse(&text) {
+                Ok(doc) => docs.push((path.clone(), doc)),
+                Err(e) => eprintln!("dash: skipping {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("dash: skipping {}: {e}", path.display()),
+        }
+    }
+    docs
+}
+
+fn phase_bands(run: &TelemetryRun) -> Vec<Band> {
+    run.phases
+        .iter()
+        .map(|p| Band {
+            start: p.start_frame,
+            end: p.end_frame,
+        })
+        .collect()
+}
+
+/// Per-frame fill fraction (`0..=1`) for the heat strip.
+fn fill_series(run: &TelemetryRun) -> Vec<f64> {
+    run.rows.iter().map(|r| r[9] as f64 / 1e6).collect()
+}
+
+fn render_term(docs: &[(PathBuf, TelemetryDoc)]) {
+    if docs.is_empty() {
+        println!("no telemetry loaded (pass --telemetry FILE)");
+        return;
+    }
+    for (path, doc) in docs {
+        println!("== {} ==", path.display());
+        for run in &doc.runs {
+            let rates = run.miss_rates();
+            println!();
+            println!(
+                "{}  ({} frames @ 2^{} events, {} phases)",
+                run.label,
+                run.rows.len(),
+                run.window_log2,
+                run.phases.len()
+            );
+            println!("  miss rate |{}|", text_sparkline(&rates));
+            println!("  fill      |{}|", text_sparkline(&fill_series(run)));
+            println!(
+                "  {:>5} {:>12} {:>14} {:>10} {:>26}",
+                "phase", "frames", "events", "miss ppm", "comp/cap/conf"
+            );
+            for p in &run.phases {
+                println!(
+                    "  {:>5} {:>12} {:>14} {:>10} {:>26}",
+                    p.id,
+                    format!("{}..{}", p.start_frame, p.end_frame),
+                    format!("{}..{}", p.events_start, p.events_end),
+                    p.miss_rate_ppm,
+                    format!("{}/{}/{}", p.compulsory, p.capacity, p.conflict)
+                );
+            }
+        }
+        println!();
+    }
+}
+
+/// Walks a run report's `sections` object into HTML tables.
+fn report_sections_html(report: &RunReport) -> String {
+    let mut out = String::new();
+    let JsonValue::Object(members) = report.to_json() else {
+        return out;
+    };
+    let Some(JsonValue::Object(sections)) = members
+        .into_iter()
+        .find(|(k, _)| k == "sections")
+        .map(|(_, v)| v)
+    else {
+        return out;
+    };
+    for (name, fields) in sections {
+        if name.starts_with("perf.") {
+            continue; // machine-local self-measurement, not content
+        }
+        let JsonValue::Object(fields) = fields else {
+            continue;
+        };
+        let _ = write!(out, "<h4>{}</h4><table>", html_escape(&name));
+        for (field, value) in fields {
+            let v = value.as_f64().unwrap_or(f64::NAN);
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td class=\"num\">{v:.6}</td></tr>",
+                html_escape(&field)
+            );
+        }
+        out.push_str("</table>");
+    }
+    out
+}
+
+/// Bench-history trend: per case, the throughput series and the latest
+/// run's delta against the rolling median of the prior ten.
+fn history_html(entries: &[HistoryEntry]) -> String {
+    let mut out = String::new();
+    if entries.is_empty() {
+        return "<p>no bench history.</p>".to_owned();
+    }
+    let mut case_names: Vec<String> = Vec::new();
+    for e in entries {
+        for c in &e.cases {
+            if !case_names.contains(&c.name) {
+                case_names.push(c.name.clone());
+            }
+        }
+    }
+    for name in &case_names {
+        let series: Vec<f64> = entries
+            .iter()
+            .filter_map(|e| e.events_per_sec(name))
+            .collect();
+        let Some((&last, prior)) = series.split_last() else {
+            continue;
+        };
+        let mut window: Vec<f64> = prior.iter().rev().take(10).copied().collect();
+        window.sort_by(f64::total_cmp);
+        let delta = if window.is_empty() {
+            "no baseline".to_owned()
+        } else {
+            let median = window[window.len() / 2];
+            format!("{:+.1}% vs rolling median", 100.0 * (last / median - 1.0))
+        };
+        let _ = write!(
+            out,
+            "<div class=\"trend\"><span class=\"lbl\">{}</span> {} \
+             <span class=\"delta\">{} ev/s, {}</span></div>",
+            html_escape(name),
+            svg_sparkline(&series, &[], 240, 28),
+            fmt_rate(last),
+            html_escape(&delta)
+        );
+    }
+    out
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+fn render_html(args: &Args, docs: &[(PathBuf, TelemetryDoc)]) -> String {
+    let mut html = String::from(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>oslay run dashboard</title><style>\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:72em;\
+         padding:0 1em;color:#1a2233}\
+         h1{font-size:1.5em}h2{border-bottom:1px solid #ccd;padding-bottom:.2em}\
+         h3{margin:1.2em 0 .3em}h4{margin:.8em 0 .2em;color:#456}\
+         table{border-collapse:collapse;margin:.3em 0}\
+         td,th{border:1px solid #dde;padding:.15em .6em}\
+         td.num{text-align:right;font-variant-numeric:tabular-nums}\
+         .spark,.heat{vertical-align:middle;border:1px solid #eef}\
+         .trend{margin:.4em 0}.lbl{display:inline-block;min-width:10em;font-weight:600}\
+         .delta{color:#456;margin-left:.6em}\
+         .meta{color:#678;font-size:.9em}\
+         </style></head><body><h1>oslay run dashboard</h1>",
+    );
+
+    // — Telemetry —
+    html.push_str("<h2>Simulated-time telemetry</h2>");
+    if docs.is_empty() {
+        html.push_str("<p>no telemetry documents loaded.</p>");
+    }
+    for (path, doc) in docs {
+        let _ = write!(
+            html,
+            "<h3>{}</h3><p class=\"meta\">{} run(s)</p>",
+            html_escape(&path.display().to_string()),
+            doc.runs.len()
+        );
+        for run in &doc.runs {
+            let rates = run.miss_rates();
+            let bands = phase_bands(run);
+            let peak = rates.iter().cloned().fold(0.0f64, f64::max);
+            let _ = write!(
+                html,
+                "<h4>{}</h4><p class=\"meta\">{} frames @ 2^{} events/frame, \
+                 {} phases, peak window miss rate {:.2}%</p>\
+                 <div>miss rate {}</div><div>fill {}</div>",
+                html_escape(&run.label),
+                run.rows.len(),
+                run.window_log2,
+                run.phases.len(),
+                100.0 * peak,
+                svg_sparkline(&rates, &bands, 560, 60),
+                svg_heat_strip(&fill_series(run), 560, 10)
+            );
+            html.push_str(
+                "<table><tr><th>phase</th><th>frames</th><th>events</th>\
+                 <th>miss ppm</th><th>compulsory</th><th>capacity</th>\
+                 <th>conflict</th></tr>",
+            );
+            for p in &run.phases {
+                let _ = write!(
+                    html,
+                    "<tr><td class=\"num\">{}</td><td class=\"num\">{}..{}</td>\
+                     <td class=\"num\">{}..{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td></tr>",
+                    p.id,
+                    p.start_frame,
+                    p.end_frame,
+                    p.events_start,
+                    p.events_end,
+                    p.miss_rate_ppm,
+                    p.compulsory,
+                    p.capacity,
+                    p.conflict
+                );
+            }
+            html.push_str("</table>");
+        }
+    }
+
+    // — Run reports —
+    html.push_str("<h2>Run reports</h2>");
+    let mut report_files: Vec<PathBuf> = std::fs::read_dir(&args.results)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    report_files.sort();
+    if report_files.is_empty() {
+        let _ = write!(
+            html,
+            "<p>no run reports under {}.</p>",
+            html_escape(&args.results.display().to_string())
+        );
+    }
+    for path in &report_files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let Ok(report) = RunReport::from_json(&text) else {
+            continue; // not a run report (e.g. BENCH_sim.json)
+        };
+        let _ = write!(html, "<h3>{}</h3>", html_escape(report.name()));
+        html.push_str(&report_sections_html(&report));
+    }
+
+    // — Bench trend —
+    html.push_str("<h2>Bench trend</h2>");
+    let entries = history::load(&args.history).unwrap_or_default();
+    html.push_str(&history_html(&entries));
+
+    html.push_str("</body></html>");
+    html
+}

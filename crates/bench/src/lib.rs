@@ -28,6 +28,7 @@ use oslay::{OsLayout, OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, Wo
 use oslay_layout::Layout;
 use oslay_model::synth::Scale;
 use oslay_model::Domain;
+use oslay_observe::timeline;
 use oslay_observe::{global_recorder, AttributionProbe, MetricRegistry, Probe, RunReport};
 
 /// Every experiment binary counts allocations: the counting allocator is
@@ -37,16 +38,41 @@ use oslay_observe::{global_recorder, AttributionProbe, MetricRegistry, Probe, Ru
 #[global_allocator]
 static ALLOC: oslay_perf::alloc::CountingAlloc = oslay_perf::alloc::CountingAlloc;
 
-/// Flushes the flight recorder to the `--trace-out` path, if one was
-/// given. Idempotent and cheap when tracing is off; every experiment
-/// binary calls this once at the end of `main` (the [`Reporter`] path
-/// does it in [`Reporter::finish`]).
+/// Flushes the flight recorder to the `--trace-out` path and the
+/// timeline to the `--telemetry-out` path, if either was given.
+/// Idempotent and cheap when both are off; every experiment binary calls
+/// this once at the end of `main` (the [`Reporter`] path does it in
+/// [`Reporter::finish`]). Both notices go to stderr so stdout stays
+/// byte-identical with observability on or off.
 pub fn flush_trace() {
     match oslay_observe::flight::flush() {
         Ok(Some(path)) => eprintln!("flight trace written: {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("flight trace write failed: {e}"),
     }
+    match oslay_observe::timeline::flush() {
+        Ok(Some(path)) => eprintln!("telemetry written: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+}
+
+/// The shared usage text for every experiment binary: the one place the
+/// common flags are documented, so `--help` and the unknown-argument
+/// error cannot drift out of sync with [`parse_run_args`].
+#[must_use]
+pub fn usage_text() -> String {
+    "common experiment flags:\n\
+     \x20 --scale tiny|small|paper   study scale (default: binary-specific)\n\
+     \x20 --blocks N                 OS blocks per workload\n\
+     \x20 --seed N                   workload generator seed\n\
+     \x20 --threads N                worker threads (output is identical at any N)\n\
+     \x20 --verify                   statically verify every layout before simulating\n\
+     \x20 --trace-out FILE           write a Chrome trace-event flight recording\n\
+     \x20 --telemetry-out FILE       write windowed simulated-time cache telemetry\n\
+     \x20 --help, -h                 print this help and exit\n\
+     some binaries accept additional flags; see their headers."
+        .to_owned()
 }
 
 /// The common experiment arguments: study configuration plus the worker
@@ -67,6 +93,10 @@ pub struct RunArgs {
     /// (`--trace-out FILE`). `None` leaves the flight recorder disabled,
     /// which is the zero-overhead default.
     pub trace_out: Option<PathBuf>,
+    /// Write the simulated-time telemetry document here
+    /// (`--telemetry-out FILE`). `None` leaves the timeline disabled,
+    /// which is the zero-overhead default.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 /// Parses the common experiment arguments (`--scale tiny|small|paper`,
@@ -111,6 +141,9 @@ pub fn apply_run_args(args: &RunArgs) {
         oslay_observe::flight::set_thread_track("main");
         oslay_perf::alloc::install_flight_probe();
     }
+    if let Some(path) = &args.telemetry_out {
+        oslay_observe::timeline::set_output(path);
+    }
 }
 
 /// The testable core of [`run_args_with`]: parses an explicit argument
@@ -130,6 +163,7 @@ where
         threads: oslay::exec::default_threads(),
         verify: false,
         trace_out: None,
+        telemetry_out: None,
     };
     while let Some(arg) = argv.pop_front() {
         match arg.as_str() {
@@ -160,8 +194,20 @@ where
                 let v = argv.pop_front().expect("--trace-out needs a file path");
                 out.trace_out = Some(PathBuf::from(v));
             }
+            "--telemetry-out" => {
+                let v = argv.pop_front().expect("--telemetry-out needs a file path");
+                out.telemetry_out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
             other => {
-                assert!(extra(other, &mut argv), "unknown argument {other:?}");
+                assert!(
+                    extra(other, &mut argv),
+                    "unknown argument {other:?}\n{}",
+                    usage_text()
+                );
             }
         }
     }
@@ -237,6 +283,11 @@ pub fn run_case(
     let os = study.os_layout(os_kind, cache_cfg.size());
     let app = app_layout_for(study, case, app_side, cache_cfg.size());
     let mut cache = Cache::new(cache_cfg);
+    let _t = timeline::scope(
+        timeline::group(),
+        0,
+        format!("{}/{}", case.name(), os_kind.name()),
+    );
     study.simulate(case, &os.layout, app.as_ref(), &mut cache, sim)
 }
 
@@ -280,6 +331,11 @@ pub fn run_case_probed(
 ) -> SimResult {
     let os = study.os_layout(os_kind, cache_cfg.size());
     let app = app_layout_for(study, case, app_side, cache_cfg.size());
+    let _t = timeline::scope(
+        timeline::group(),
+        0,
+        format!("{}/{}", case.name(), os_kind.name()),
+    );
     run_probed_on(
         study,
         case,
@@ -311,6 +367,11 @@ pub fn run_case_attributed(
 ) -> (SimResult, AttributionReport) {
     let os = study.os_layout(os_kind, cache_cfg.size());
     let app = app_layout_for(study, case, app_side, cache_cfg.size());
+    let _t = timeline::scope(
+        timeline::group(),
+        0,
+        format!("{}/{}", case.name(), os_kind.name()),
+    );
     run_attributed_on(study, case, &os, app.as_ref(), cache_cfg, sim, registry)
 }
 
@@ -387,9 +448,13 @@ pub fn run_figure12_matrix(
     let jobs: Vec<(usize, usize)> = (0..study.cases().len())
         .flat_map(|c| (0..ladder.len()).map(move |l| (c, l)))
         .collect();
-    let sharded = oslay::exec::parallel_map(threads, jobs, |_, (c, l)| {
+    // One merge group for the whole matrix, allocated before the fan-out
+    // so timeline runs land in job-index order at any worker count.
+    let group = timeline::group();
+    let sharded = oslay::exec::parallel_map(threads, jobs, |i, (c, l)| {
         let case = &study.cases()[c];
-        let (_, kind, side) = ladder[l];
+        let (level, kind, side) = ladder[l];
+        let _t = timeline::scope(group, i as u64, format!("{}/{level}", case.name()));
         let os = &layouts
             .iter()
             .find(|&&(k, _)| k == kind)
@@ -457,8 +522,10 @@ pub fn run_sweep(
     threads: usize,
     registry: &Arc<MetricRegistry>,
 ) -> Vec<SimResult> {
-    let sharded = oslay::exec::parallel_map(threads, points, |_, p| {
+    let group = timeline::group();
+    let sharded = oslay::exec::parallel_map(threads, points, |i, p| {
         let case = &study.cases()[p.case];
+        let _t = timeline::scope(group, i as u64, format!("{}@{}", case.name(), p.cache));
         let app = app_layout_for(study, case, p.app, p.cache.size());
         let shard = Arc::new(MetricRegistry::new());
         let r = run_probed_on(study, case, &p.os, app.as_ref(), p.cache, sim, &shard);
@@ -497,8 +564,14 @@ pub fn run_attributed_matrix(
     let jobs: Vec<(usize, usize)> = (0..study.cases().len())
         .flat_map(|c| (0..kinds.len()).map(move |k| (c, k)))
         .collect();
-    let sharded = oslay::exec::parallel_map(threads, jobs, |_, (c, k)| {
+    let group = timeline::group();
+    let sharded = oslay::exec::parallel_map(threads, jobs, |i, (c, k)| {
         let case = &study.cases()[c];
+        let _t = timeline::scope(
+            group,
+            i as u64,
+            format!("{}/{}", case.name(), kinds[k].name()),
+        );
         let app = app_layout_for(study, case, AppSide::Base, cache_cfg.size());
         let shard = Arc::new(MetricRegistry::new());
         let r = run_attributed_on(
@@ -684,6 +757,55 @@ mod tests {
             parse_run_args(VecDeque::new(), StudyConfig::tiny(), |_, _| false)
                 .trace_out
                 .is_none()
+        );
+    }
+
+    #[test]
+    fn parse_telemetry_out_flag() {
+        let argv: VecDeque<String> = ["--telemetry-out", "/tmp/tel.json"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let args = parse_run_args(argv, StudyConfig::tiny(), |_, _| false);
+        assert_eq!(
+            args.telemetry_out.as_deref(),
+            Some(std::path::Path::new("/tmp/tel.json"))
+        );
+        assert!(
+            parse_run_args(VecDeque::new(), StudyConfig::tiny(), |_, _| false)
+                .telemetry_out
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn usage_lists_every_common_flag() {
+        let usage = usage_text();
+        for flag in [
+            "--scale",
+            "--blocks",
+            "--seed",
+            "--threads",
+            "--verify",
+            "--trace-out",
+            "--telemetry-out",
+            "--help",
+        ] {
+            assert!(usage.contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn unknown_flag_fails_with_usage() {
+        let argv: VecDeque<String> = ["--no-such-flag"].iter().map(|s| (*s).to_owned()).collect();
+        let err =
+            std::panic::catch_unwind(|| parse_run_args(argv, StudyConfig::tiny(), |_, _| false))
+                .expect_err("unknown flag must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("unknown argument \"--no-such-flag\""), "{msg}");
+        assert!(
+            msg.contains("--telemetry-out"),
+            "rejection must print the usage text: {msg}"
         );
     }
 

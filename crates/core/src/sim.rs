@@ -4,9 +4,24 @@ use oslay_analysis::missmap::AddressHistogram;
 use oslay_cache::{InstructionCache, MissStats};
 use oslay_layout::Layout;
 use oslay_model::Domain;
+use oslay_observe::timeline::{self, CacheSnapshot, WindowRecorder};
 use oslay_trace::TraceEvent;
 
 use crate::{Study, WorkloadCase};
+
+/// Cumulative cache state for the timeline: aggregate statistics off
+/// [`InstructionCache::stats`] plus whatever state sample the cache's
+/// own telemetry probe provides.
+fn cache_snapshot<C: InstructionCache + ?Sized>(cache: &C) -> CacheSnapshot {
+    let stats = cache.stats();
+    CacheSnapshot {
+        accesses: stats.total_accesses(),
+        os_accesses: stats.accesses(Domain::Os),
+        misses: stats.total_misses(),
+        cold_misses: stats.misses(oslay_cache::MissKind::Cold),
+        probe: cache.telemetry_snapshot(),
+    }
+}
 
 /// What to collect during a simulation.
 #[derive(Copy, Clone, Debug)]
@@ -86,6 +101,10 @@ pub struct Replayer<'a, C: InstructionCache + ?Sized = dyn InstructionCache> {
     /// collected; otherwise block fetches take the coalesced line-run
     /// path.
     per_address: bool,
+    /// Timeline recorder, present only when the timeline is enabled and
+    /// this thread is inside a recording scope — the hot path then pays
+    /// one branch per event plus a periodic cache sample.
+    telemetry: Option<Box<WindowRecorder>>,
 }
 
 impl<C: InstructionCache + ?Sized> std::fmt::Debug for Replayer<'_, C> {
@@ -109,6 +128,13 @@ impl<'a, C: InstructionCache + ?Sized> Replayer<'a, C> {
         os_blocks: usize,
         app_blocks: usize,
     ) -> Self {
+        let telemetry = timeline::recorder().map(Box::new);
+        if telemetry.is_some() {
+            // Ask the cache to keep its side of the telemetry (the
+            // eviction-age histogram) for the duration of this replay;
+            // `finish` turns it back off.
+            cache.set_telemetry(true);
+        }
         Self {
             os_layout,
             app_layout,
@@ -119,6 +145,7 @@ impl<'a, C: InstructionCache + ?Sized> Replayer<'a, C> {
             os_block_misses: config.block_misses.then(|| vec![0u64; os_blocks]),
             app_block_misses: config.block_misses.then(|| vec![0u64; app_blocks]),
             per_address: config.os_miss_map,
+            telemetry,
         }
     }
 
@@ -128,6 +155,15 @@ impl<'a, C: InstructionCache + ?Sized> Replayer<'a, C> {
     ///
     /// Panics if an app block arrives but no app layout was supplied.
     pub fn on_event(&mut self, event: TraceEvent) {
+        self.handle_event(event);
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            if tl.tick() {
+                tl.sample(&cache_snapshot(&*self.cache));
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: TraceEvent) {
         // Boundary and marker events feed the cache's diagnostic
         // hooks (no-ops on plain caches) but fetch nothing.
         let (id, domain) = match event {
@@ -216,8 +252,15 @@ impl<'a, C: InstructionCache + ?Sized> Replayer<'a, C> {
     }
 
     /// Finishes the replay, reading the final statistics off the cache.
+    /// If the timeline was recording, the final (possibly partial)
+    /// window is closed, the run's phases are segmented, and the cache's
+    /// telemetry bookkeeping is released.
     #[must_use]
-    pub fn finish(self) -> SimResult {
+    pub fn finish(mut self) -> SimResult {
+        if let Some(tl) = self.telemetry.take() {
+            tl.finish(&cache_snapshot(&*self.cache));
+            self.cache.set_telemetry(false);
+        }
         SimResult {
             stats: *self.cache.stats(),
             os_miss_map: self.os_miss_map,
@@ -553,5 +596,122 @@ mod tests {
         let base = s.os_layout(OsLayoutKind::Base, 8192);
         let mut cache = Cache::new(CacheConfig::paper_default());
         let _ = s.simulate(case, &base.layout, None, &mut cache, &SimConfig::fast());
+    }
+
+    // The flight recorder and timeline are process-global; serialize the
+    // tests that touch them.
+    fn observability_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A sink that archives every event it receives, for byte-exact
+    /// forwarding comparisons.
+    #[derive(Debug, Default)]
+    struct ArchiveSink(Vec<TraceEvent>);
+
+    impl oslay_trace::TraceSink for ArchiveSink {
+        fn event(&mut self, event: TraceEvent) {
+            self.0.push(event);
+        }
+    }
+
+    #[test]
+    fn heartbeat_default_cadence_is_two_to_the_twenty() {
+        assert_eq!(HeartbeatSink::<ArchiveSink>::DEFAULT_EVERY, 1 << 20);
+    }
+
+    #[test]
+    fn heartbeat_beats_on_exact_cadence_with_monotone_counters() {
+        let _g = observability_gate();
+        oslay_observe::flight::reset();
+        oslay_observe::flight::enable();
+        let s = study();
+        let case = &s.cases()[3];
+        let total = case.trace.events().len() as u64;
+        let every = 64u64;
+        let mut archive = ArchiveSink::default();
+        {
+            let mut hb = HeartbeatSink::new(&mut archive, every);
+            for event in case.trace.events() {
+                oslay_trace::TraceSink::event(&mut hb, *event);
+            }
+        }
+        oslay_observe::flight::disable();
+        let beats: Vec<f64> = oslay_observe::flight::counter_events()
+            .into_iter()
+            .filter(|c| c.name == "sim.events")
+            .map(|c| c.value)
+            .collect();
+        oslay_observe::flight::reset();
+        assert_eq!(
+            beats.len() as u64,
+            total / every,
+            "one beat per {every} events, nothing on the partial tail"
+        );
+        for (i, &v) in beats.iter().enumerate() {
+            assert_eq!(v, ((i as u64 + 1) * every) as f64, "beat {i} cadence");
+        }
+        assert!(
+            beats.windows(2).all(|w| w[0] < w[1]),
+            "event counter strictly monotone"
+        );
+    }
+
+    #[test]
+    fn heartbeat_wrapper_forwards_events_byte_identically() {
+        let _g = observability_gate();
+        let s = study();
+        let case = &s.cases()[0]; // app+OS mix: all event kinds flow
+        let mut plain = ArchiveSink::default();
+        for event in case.trace.events() {
+            oslay_trace::TraceSink::event(&mut plain, *event);
+        }
+        // Wrapped, with an aggressive cadence and the recorder enabled:
+        // the downstream archive must not change by one byte.
+        oslay_observe::flight::reset();
+        oslay_observe::flight::enable();
+        let mut wrapped = ArchiveSink::default();
+        {
+            let mut hb = HeartbeatSink::new(&mut wrapped, 7);
+            for event in case.trace.events() {
+                oslay_trace::TraceSink::event(&mut hb, *event);
+            }
+        }
+        oslay_observe::flight::disable();
+        oslay_observe::flight::reset();
+        assert_eq!(plain.0, wrapped.0);
+        assert_eq!(format!("{:?}", plain.0), format!("{:?}", wrapped.0));
+    }
+
+    #[test]
+    fn replayer_records_a_timeline_run_when_scoped() {
+        let _g = observability_gate();
+        timeline::reset();
+        let s = study();
+        let case = &s.cases()[3];
+        let base = s.os_layout(OsLayoutKind::Base, 8192);
+
+        // Telemetry disabled: no run is recorded.
+        let mut c1 = Cache::new(CacheConfig::paper_default());
+        let plain = s.replay_streaming(case, &base.layout, None, &mut c1, &SimConfig::fast());
+        assert_eq!(timeline::runs_recorded(), 0);
+
+        // Enabled + scoped: one validated run, identical sim results.
+        timeline::enable();
+        let _scope = timeline::scope(timeline::group(), 0, "test/Base");
+        let mut c2 = Cache::new(CacheConfig::paper_default());
+        let traced = s.replay_streaming(case, &base.layout, None, &mut c2, &SimConfig::fast());
+        timeline::disable();
+        assert_eq!(plain.stats, traced.stats, "telemetry must not perturb");
+        assert_eq!(timeline::runs_recorded(), 1);
+        let doc = timeline::document().to_json_pretty();
+        timeline::reset();
+        let stats = oslay_observe::timeline::validate_telemetry(&doc).expect("valid document");
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.events, case.trace.events().len() as u64);
+        assert!(stats.frames > 0);
+        assert!(stats.phases > 0);
     }
 }

@@ -21,6 +21,7 @@
 
 pub mod arcs;
 pub mod classify;
+pub mod dash;
 pub mod figures;
 pub mod histogram;
 pub mod loops;

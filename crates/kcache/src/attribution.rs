@@ -886,6 +886,20 @@ impl InstructionCache for AttributedCache {
         self.epoch = Some(tag);
         self.epoch_conflicts.entry(tag).or_insert(0);
     }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.inner.set_telemetry(enabled);
+    }
+
+    fn telemetry_snapshot(&self) -> Option<oslay_observe::timeline::CacheProbeSnapshot> {
+        // The inner cache supplies occupancy and eviction ages; this
+        // wrapper adds the attribution split the timeline uses for the
+        // compulsory/capacity/conflict decomposition per window.
+        self.inner.telemetry_snapshot().map(|mut snap| {
+            snap.attr = Some(self.class_misses);
+            snap
+        })
+    }
 }
 
 /// One pair's before/after counts in a layout diff.

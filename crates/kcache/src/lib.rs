@@ -93,4 +93,21 @@ pub trait InstructionCache: std::fmt::Debug {
     fn note_mark(&mut self, tag: u32) {
         let _ = tag;
     }
+
+    /// Enables or disables telemetry collection (the timeline's
+    /// eviction-age histogram). The default ignores the request;
+    /// organizations without the bookkeeping simply report no probe
+    /// data. Disabling frees any telemetry state.
+    fn set_telemetry(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// A point-in-time telemetry sample — per-set occupancy quantiles,
+    /// fill fraction, the eviction-age histogram, and (for attributing
+    /// caches) the cumulative compulsory/capacity/conflict split. The
+    /// default reports `None`; the timeline then records zeros for
+    /// these fields.
+    fn telemetry_snapshot(&self) -> Option<oslay_observe::timeline::CacheProbeSnapshot> {
+        None
+    }
 }

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use oslay_model::Domain;
+use oslay_observe::timeline::{self, CacheProbeSnapshot};
 use oslay_observe::Probe;
 
 use crate::{CacheConfig, InstructionCache, MissStats};
@@ -246,6 +247,10 @@ pub struct Cache {
     /// Consulted only on the miss path and in
     /// [`Cache::record_occupancy`], never on hits.
     probe: Option<Arc<dyn Probe + Send + Sync>>,
+    /// Eviction-age histogram (log2 buckets of `clock - last_touch`),
+    /// allocated only while the timeline has telemetry enabled.
+    /// Touched only on the eviction path.
+    evict_ages: Option<Box<[u64; timeline::AGE_BUCKETS]>>,
 }
 
 impl std::fmt::Debug for Cache {
@@ -288,6 +293,7 @@ impl Cache {
             clock: 0,
             stats: MissStats::default(),
             probe: None,
+            evict_ages: None,
         }
     }
 
@@ -382,10 +388,16 @@ impl Cache {
         }
         let evictee = self.tags[victim];
         let evicted_valid = evictee != TAG_EMPTY;
+        // Victim's last-touch stamp, read before the fill overwrites it:
+        // the eviction age is how long the line sat untouched.
+        let victim_last = self.lru[victim];
         self.tags[victim] = key;
         self.lru[victim] = clock;
         if evicted_valid {
             self.evicted_by.record(set, evictee, domain);
+            if let Some(ages) = self.evict_ages.as_deref_mut() {
+                ages[(clock - victim_last).ilog2() as usize] += 1;
+            }
         }
         // A line is non-cold iff it was ever evicted — residency implies a
         // prior fill, and every displacement of a valid line leaves a
@@ -454,6 +466,48 @@ impl InstructionCache for Cache {
         self.evicted_by.clear();
         self.clock = 0;
         self.stats = MissStats::default();
+        if let Some(ages) = self.evict_ages.as_deref_mut() {
+            ages.fill(0);
+        }
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.evict_ages = enabled.then(|| Box::new([0u64; timeline::AGE_BUCKETS]));
+    }
+
+    fn telemetry_snapshot(&self) -> Option<CacheProbeSnapshot> {
+        // Occupancy histogram: how many sets hold exactly `n` valid ways
+        // (fixed-size so the scan is one pass, no allocation per call).
+        let mut counts = [0u64; 65];
+        let mut valid_total = 0u64;
+        for set in self.tags.chunks(self.ways_per_set) {
+            let occupied = set.iter().filter(|&&tag| tag != TAG_EMPTY).count();
+            valid_total += occupied as u64;
+            counts[occupied.min(64)] += 1;
+        }
+        let sets = (self.tags.len() / self.ways_per_set) as u64;
+        let quantile = |num: u64, den: u64| -> u32 {
+            let target = (sets * num).div_ceil(den).max(1);
+            let mut cum = 0u64;
+            for (occ, &n) in counts.iter().enumerate() {
+                cum += n;
+                if cum >= target {
+                    return occ as u32;
+                }
+            }
+            self.ways_per_set as u32
+        };
+        Some(CacheProbeSnapshot {
+            occ_p50: quantile(1, 2),
+            occ_p95: quantile(19, 20),
+            fill_ppm: (valid_total * 1_000_000 / self.tags.len() as u64) as u32,
+            evict_ages: self
+                .evict_ages
+                .as_deref()
+                .copied()
+                .unwrap_or([0; timeline::AGE_BUCKETS]),
+            attr: None,
+        })
     }
 }
 
@@ -464,6 +518,45 @@ mod tests {
     fn dm64() -> Cache {
         // 64-byte direct-mapped cache with 16-byte lines: 4 sets.
         Cache::new(CacheConfig::new(64, 16, 1))
+    }
+
+    #[test]
+    fn telemetry_snapshot_tracks_occupancy_and_evict_ages() {
+        let mut c = dm64();
+        c.set_telemetry(true);
+        // Empty cache: zero fill, zero quantiles, no evictions.
+        let snap = c.telemetry_snapshot().expect("sim cache always samples");
+        assert_eq!((snap.occ_p50, snap.occ_p95, snap.fill_ppm), (0, 0, 0));
+        assert!(snap.evict_ages.iter().all(|&n| n == 0));
+        assert_eq!(snap.attr, None);
+        // Fill all four sets, then evict set 0's line after 4 more ticks.
+        for set in 0..4u64 {
+            c.access(set * 16, Domain::Os);
+        }
+        let full = c.telemetry_snapshot().unwrap();
+        assert_eq!((full.occ_p50, full.occ_p95), (1, 1));
+        assert_eq!(full.fill_ppm, 1_000_000);
+        c.access(64, Domain::App); // maps to set 0, evicts line 0 at age 4
+        let evicted = c.telemetry_snapshot().unwrap();
+        assert_eq!(evicted.evict_ages.iter().sum::<u64>(), 1);
+        assert_eq!(evicted.evict_ages[2], 1, "age 4 lands in bucket log2(4)");
+        // reset() clears the histogram; set_telemetry(false) frees it
+        // and zeros are reported thereafter.
+        c.reset();
+        assert!(c
+            .telemetry_snapshot()
+            .unwrap()
+            .evict_ages
+            .iter()
+            .all(|&n| n == 0));
+        c.set_telemetry(false);
+        for set in 0..4u64 {
+            c.access(set * 16, Domain::Os);
+        }
+        c.access(64, Domain::App);
+        let off = c.telemetry_snapshot().unwrap();
+        assert!(off.evict_ages.iter().all(|&n| n == 0), "disabled: no ages");
+        assert_eq!(off.fill_ppm, 1_000_000, "occupancy still sampled");
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Shared JSONL (JSON-lines) plumbing.
+//!
+//! Three consumers keep append-only `.jsonl` trajectories: the bench
+//! history behind `perf summary`'s trend gate, [`RunReport`] trajectory
+//! files, and the `dash` report reader. Before this module each carried
+//! its own copy of the same open-append-writeln / read-filter loop; they
+//! now share one implementation with one set of semantics:
+//!
+//! * [`append_line`] creates parent directories and the file as needed
+//!   and appends exactly one compact JSON line.
+//! * [`read_lines`] treats a missing file as empty and **skips** blank
+//!   or malformed lines rather than failing — a trajectory file is an
+//!   append-only log that may carry a torn final line after a crash,
+//!   and one bad line must not invalidate the history before it.
+//!
+//! [`RunReport`]: crate::RunReport
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::{self, JsonValue};
+
+/// Appends `value` as one compact JSON line to `path`, creating the
+/// file and any parent directories as needed.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on filesystem failure.
+pub fn append_line(path: &Path, value: &JsonValue) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", value.to_json())
+}
+
+/// Reads every parseable JSON line from `path`. A missing file yields an
+/// empty vector; blank and malformed lines are skipped.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on filesystem failure other than
+/// the file not existing.
+pub fn read_lines(path: &Path) -> io::Result<Vec<JsonValue>> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| json::parse(line).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oslay-jsonl-{}-{name}", std::process::id()));
+        p
+    }
+
+    /// Tiny deterministic xorshift generator for the property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Random JSON tree with only round-trip-exact numbers (small
+    /// integers and dyadic fractions survive f64 formatting bit-exactly).
+    fn random_value(rng: &mut Rng, depth: u32) -> JsonValue {
+        let pick = if depth == 0 {
+            rng.below(4)
+        } else {
+            rng.below(6)
+        };
+        match pick {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.below(2) == 0),
+            2 => {
+                let n = rng.below(2_000_000) as f64 - 1_000_000.0;
+                let frac = match rng.below(3) {
+                    0 => 0.0,
+                    1 => 0.5,
+                    _ => 0.25,
+                };
+                JsonValue::Num(n + frac)
+            }
+            3 => {
+                let len = rng.below(12);
+                let s: String = (0..len)
+                    .map(|_| {
+                        // Mix in characters the escaper must handle.
+                        match rng.below(8) {
+                            0 => '"',
+                            1 => '\\',
+                            2 => '\n',
+                            3 => '\t',
+                            _ => char::from(b'a' + (rng.below(26) as u8)),
+                        }
+                    })
+                    .collect();
+                JsonValue::Str(s)
+            }
+            4 => JsonValue::Array(
+                (0..rng.below(4))
+                    .map(|_| random_value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => JsonValue::object(
+                (0..rng.below(4))
+                    .map(|i| (format!("k{i}"), random_value(rng, depth - 1)))
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+
+    #[test]
+    fn round_trip_property() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+        let values: Vec<JsonValue> = (0..64).map(|_| random_value(&mut rng, 3)).collect();
+        for v in &values {
+            append_line(&path, v).expect("append");
+        }
+        let back = read_lines(&path).expect("read");
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_json(), b.to_json(), "line round-trips bit-exactly");
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(read_lines(&path).expect("missing is empty").is_empty());
+    }
+
+    #[test]
+    fn malformed_and_blank_lines_are_skipped() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        append_line(&path, &JsonValue::Num(1.0)).unwrap();
+        append_line(&path, &JsonValue::Num(2.0)).unwrap();
+        // Simulate a torn write: a truncated line and a blank line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("\n{\"torn\": tru\n");
+        std::fs::write(&path, text).unwrap();
+        let back = read_lines(&path).expect("read");
+        assert_eq!(back.len(), 2, "good prefix survives the torn tail");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn creates_parent_directories() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("oslay-jsonl-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("log.jsonl");
+        append_line(&path, &JsonValue::Bool(true)).expect("append creates dirs");
+        assert_eq!(read_lines(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -24,6 +24,11 @@
 //!   counters, and a Chrome trace-event / Perfetto exporter. When
 //!   enabled, every [`span`] also records a flight span; when disabled
 //!   it costs one atomic load.
+//! * **Timeline** ([`timeline`]) — the flight recorder's simulated-time
+//!   twin: windowed miss/occupancy telemetry frames sampled every `2^k`
+//!   simulated events, change-point phase segmentation, and the
+//!   `oslay.telemetry.v1` document behind `--telemetry-out` and the
+//!   `dash` viewer. Shared JSONL plumbing lives in [`jsonl`].
 //!
 //! Metric names are namespaced by pipeline stage: `trace.*`, `cache.*`,
 //! `layout.*`, `study.*` (see `DESIGN.md` at the repository root).
@@ -38,9 +43,11 @@
 mod audit;
 pub mod flight;
 pub mod json;
+pub mod jsonl;
 mod metrics;
 mod report;
 mod span;
+pub mod timeline;
 
 pub use audit::{PlacementAudit, PlacementRecord};
 pub use json::{JsonError, JsonValue};

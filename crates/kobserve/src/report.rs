@@ -10,7 +10,6 @@
 
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 use crate::json::{self, JsonValue};
@@ -410,14 +409,7 @@ impl RunReport {
     ///
     /// Returns [`ReportError::Io`] on filesystem failure.
     pub fn append_jsonl(&self, path: &Path) -> Result<(), ReportError> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        writeln!(f, "{}", self.to_json().to_json())?;
+        crate::jsonl::append_line(path, &self.to_json())?;
         Ok(())
     }
 }

@@ -15,7 +15,6 @@
 //! applies unchanged. The median (not the last run) is the baseline so
 //! one noisy sample can neither mask nor fake a regression.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use oslay_observe::json::{self, JsonValue};
@@ -93,6 +92,12 @@ impl HistoryEntry {
     /// Serializes the entry as one compact JSON line (no newline).
     #[must_use]
     pub fn to_json_line(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// The entry as a JSON object (the [`oslay_observe::jsonl`] row).
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
         JsonValue::object([
             (
                 "unix_secs".to_owned(),
@@ -125,7 +130,6 @@ impl HistoryEntry {
                 ),
             ),
         ])
-        .to_json()
     }
 
     /// Parses one history line back.
@@ -135,6 +139,15 @@ impl HistoryEntry {
     /// Returns a description of the first missing or malformed field.
     pub fn parse(line: &str) -> Result<Self, String> {
         let v = json::parse(line).map_err(|e| e.to_string())?;
+        Self::from_value(&v)
+    }
+
+    /// Rebuilds an entry from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_value(v: &JsonValue) -> Result<Self, String> {
         let str_field = |key: &str| -> Result<String, String> {
             v.get(key)
                 .and_then(JsonValue::as_str)
@@ -223,16 +236,7 @@ pub fn read_git_rev(start: &Path) -> Option<String> {
 ///
 /// Returns any filesystem error.
 pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    writeln!(f, "{}", entry.to_json_line())
+    oslay_observe::jsonl::append_line(path, &entry.to_json_value())
 }
 
 /// Loads a history file, oldest entry first. Malformed lines are
@@ -243,15 +247,9 @@ pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
 ///
 /// Returns any filesystem error. A missing file is an empty history.
 pub fn load(path: &Path) -> std::io::Result<Vec<HistoryEntry>> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
-    Ok(text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .filter_map(|l| HistoryEntry::parse(l).ok())
+    Ok(oslay_observe::jsonl::read_lines(path)?
+        .iter()
+        .filter_map(|v| HistoryEntry::from_value(v).ok())
         .collect())
 }
 
@@ -379,6 +377,7 @@ fn fmt_rate(rate: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write as _;
 
     fn entry(rate: f64) -> HistoryEntry {
         HistoryEntry {
