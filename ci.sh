@@ -166,6 +166,41 @@ fi
 grep -q "corrupt block" "$tmpdir/verify_err.txt"
 rm -rf "$tmpdir"
 
+echo "== sweep engine gate: single-pass vs per-point, 1 and 2 workers =="
+tmpdir="$(mktemp -d)"
+repo_root="$PWD"
+for mode in single-pass per-point; do
+  for t in 1 2; do
+    d="$tmpdir/${mode}_t$t"
+    mkdir -p "$d/results"
+    (
+      cd "$d"
+      cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+        -p oslay-bench --bin fig15_cache_size_speedup -- \
+        --scale tiny --threads "$t" "--$mode" > stdout.txt 2> /dev/null
+    )
+  done
+done
+# The rendered figure must be byte-identical across modes and worker
+# counts...
+for v in single-pass_t2 per-point_t1 per-point_t2; do
+  diff "$tmpdir/single-pass_t1/stdout.txt" "$tmpdir/$v/stdout.txt"
+done
+# ...the run report must be worker-count invariant within each mode (wall
+# clock and allocator telemetry aside)...
+nondet='"(secs|alloc_calls|alloc_bytes|live_bytes|peak_bytes)"'
+for mode in single-pass per-point; do
+  diff <(grep -vE "$nondet" "$tmpdir/${mode}_t1/results/fig15_cache_size_speedup.json") \
+       <(grep -vE "$nondet" "$tmpdir/${mode}_t2/results/fig15_cache_size_speedup.json")
+done
+# ...and across modes every figure section and metric must agree; only
+# the phase-span counts may differ (single-pass records one replay pass
+# per case, per-point one per grid point).
+crossdet='"(secs|alloc_calls|alloc_bytes|live_bytes|peak_bytes|count)"'
+diff <(grep -vE "$crossdet" "$tmpdir/single-pass_t1/results/fig15_cache_size_speedup.json") \
+     <(grep -vE "$crossdet" "$tmpdir/per-point_t1/results/fig15_cache_size_speedup.json")
+rm -rf "$tmpdir"
+
 echo "== telemetry gate: inert probes, worker-invariant timeline, dash 0/1 =="
 tmpdir="$(mktemp -d)"
 repo_root="$PWD"

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use oslay::cache::{Cache, CacheConfig};
-use oslay::{SimConfig, SimResult, Study, WorkloadCase};
+use oslay::{FanoutSink, Replayer, SimConfig, SimResult, Study, WorkloadCase};
 use oslay_layout::Layout;
 use oslay_observe::{MetricRegistry, Probe};
 use oslay_tracestore::{StoreError, StoreSummary, TraceReader, TraceWriter};
@@ -110,15 +110,18 @@ pub fn replay_archived_probed(
 /// Reproduces the Figure-12 matrix from an archive directory, returning
 /// `results[case][level]` exactly like [`crate::run_figure12_matrix`].
 ///
-/// Every (case × ladder level) job opens its own [`TraceReader`] — the
-/// store format decodes blocks independently, so concurrent readers need
-/// no shared state — and records into a private registry; shards fold
-/// into `registry` in job-index order. Against the same study this is
-/// byte-identical to the live matrix at any worker count.
+/// Single-pass: each case's store is opened and decoded **once**, and a
+/// [`FanoutSink`] feeds the decoded stream to one [`Replayer`] per
+/// ladder level side by side — five replays for one decode, instead of
+/// re-opening and re-decoding the store per level. Each level records
+/// into a private registry shard; shards fold into `registry`
+/// case-major, level-minor — the same order the per-level job list used
+/// — so against the same study this is byte-identical to the live
+/// matrix at any worker count.
 ///
 /// # Errors
 ///
-/// Returns the first [`StoreError`] in job order (a missing file, or a
+/// Returns the first [`StoreError`] in case order (a missing file, or a
 /// corrupt block named by index).
 pub fn run_archived_figure12_matrix(
     study: &Study,
@@ -139,42 +142,71 @@ pub fn run_archived_figure12_matrix(
         .into_iter()
         .map(|kind| (kind, study.os_layout(kind, cache_cfg.size())))
         .collect();
-    let jobs: Vec<(usize, usize)> = (0..study.cases().len())
-        .flat_map(|c| (0..ladder.len()).map(move |l| (c, l)))
-        .collect();
+    let jobs: Vec<usize> = (0..study.cases().len()).collect();
     let ladder_ref = &ladder;
     let layouts_ref = &layouts;
     // Same timeline contract as the live matrix: one group allocated
     // before the fan-out, one scope per job in job-index order, so an
-    // archived replay's telemetry document is byte-identical to a live
-    // run's at any worker count.
+    // archived replay's telemetry document is byte-identical across
+    // worker counts.
     let group = oslay_observe::timeline::group();
-    let sharded = oslay::exec::parallel_map(threads, jobs, move |i, (c, l)| {
+    let sharded = oslay::exec::parallel_map(threads, jobs, move |i, c| {
         let case = &study.cases()[c];
-        let (level, kind, side) = ladder_ref[l];
-        let _t =
-            oslay_observe::timeline::scope(group, i as u64, format!("{}/{level}", case.name()));
-        let os = &layouts_ref
-            .iter()
-            .find(|&&(k, _)| k == kind)
-            .expect("every ladder kind is memoized")
-            .1;
-        let app = app_layout_for(study, case, side, cache_cfg.size());
-        let shard = Arc::new(MetricRegistry::new());
+        let _t = oslay_observe::timeline::scope(group, i as u64, case.name().to_owned());
         let path = dir.join(archive_file_name(case));
-        let layouts = LayoutPair {
-            os: &os.layout,
-            app: app.as_ref(),
-        };
-        replay_archived_probed(study, case, &path, layouts, cache_cfg, sim, &shard)
-            .map(|r| (r, shard))
+
+        // One probed cache + registry shard per ladder level. The app
+        // layouts live beside them: each replayer borrows its level's.
+        let shards: Vec<Arc<MetricRegistry>> = (0..ladder_ref.len())
+            .map(|_| Arc::new(MetricRegistry::new()))
+            .collect();
+        let apps: Vec<Option<Layout>> = ladder_ref
+            .iter()
+            .map(|&(_, _, side)| app_layout_for(study, case, side, cache_cfg.size()))
+            .collect();
+        let mut caches: Vec<Cache> = shards
+            .iter()
+            .map(|shard| {
+                let probe: Arc<dyn Probe + Send + Sync> = Arc::clone(shard) as _;
+                Cache::with_probe(cache_cfg, probe)
+            })
+            .collect();
+        let mut replayers: Vec<_> = caches
+            .iter_mut()
+            .zip(ladder_ref.iter().zip(&apps))
+            .map(|(cache, (&(_, kind, _), app))| {
+                let os = &layouts_ref
+                    .iter()
+                    .find(|&&(k, _)| k == kind)
+                    .expect("every ladder kind is memoized")
+                    .1;
+                study.replayer_for(case, &os.layout, app.as_ref(), cache, sim)
+            })
+            .collect();
+
+        // Decode the store once; every block fans out to all levels.
+        {
+            let mut fan = FanoutSink::new(
+                replayers
+                    .iter_mut()
+                    .map(|r| r as &mut dyn oslay_trace::TraceSink)
+                    .collect(),
+            );
+            let mut reader = TraceReader::open(&path)?;
+            reader.replay_into(&mut fan)?;
+        }
+
+        let row: Vec<SimResult> = replayers.into_iter().map(Replayer::finish).collect();
+        for cache in &mut caches {
+            cache.record_occupancy();
+        }
+        Ok::<_, StoreError>(row.into_iter().zip(shards).collect::<Vec<_>>())
     });
     let mut results: Vec<Vec<SimResult>> = Vec::with_capacity(study.cases().len());
-    let mut sharded = sharded.into_iter();
-    for _ in 0..study.cases().len() {
+    for levels in sharded {
+        let levels = levels?;
         let mut row = Vec::with_capacity(ladder.len());
-        for _ in 0..ladder.len() {
-            let (r, shard) = sharded.next().expect("one result per job")?;
+        for (r, shard) in levels {
             registry.merge_from(&shard);
             row.push(r);
         }

@@ -19,6 +19,12 @@
 //! - `matrix_1t` / `matrix_nt`: the Figure-12 style 4-case × 5-level
 //!   simulation matrix at 1 vs `--threads` workers; their ratio is the
 //!   `parallel_speedup` derived field.
+//! - `sweep_per_point` / `sweep_single_pass`: the committed design-space
+//!   grid (4 KB–256 KB at 1–8 ways on 32-byte lines, plus 64/128-byte
+//!   lines at 8 KB, under Base/C-H/OptS) replayed point by point vs
+//!   evaluated in one trace pass per workload (`oslay_cache::MultiSim`);
+//!   their ratio is the `sweep_speedup` derived field, recorded at every
+//!   scale but smoke (a ~1k-block trace measures only setup overhead).
 //!
 //! The counting allocator is installed process-wide, so `allocs` /
 //! `peak_bytes` columns are real measurements, not estimates.
@@ -28,7 +34,9 @@ use std::time::Instant;
 
 use oslay::cache::{Cache, CacheConfig};
 use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
-use oslay_bench::{run_args_with, run_figure12_matrix, scale_name};
+use oslay_bench::{
+    run_args_with, run_figure12_matrix, run_sweep_mode, scale_name, AppSide, SweepPoint,
+};
 use oslay_observe::MetricRegistry;
 use oslay_perf::alloc;
 use oslay_perf::history::{self, HistoryEntry};
@@ -157,6 +165,65 @@ fn run_matrix(study: &Study, sim: &SimConfig, threads: usize) -> u64 {
         .sum()
 }
 
+/// The committed design-space grid: every (size, associativity) point in
+/// the 4 KB – 256 KB x 1–8 way plane at 32-byte lines — all 28 share one
+/// Mattson stack bank per trace — plus two longer line sizes at 8 KB
+/// direct-mapped (one banked tag array each), each under Base, C-H and
+/// OptS, for every workload. This is the plane the figure sweeps draw
+/// from (fig15 spans the sizes, fig17 the lines and ways) and the shape
+/// the single-pass engine exists for: 90 per-point trace replays
+/// collapse to 3 (one per OS layout), and widening the plane with
+/// rarely-missing large configurations costs the stack walk almost
+/// nothing while the per-point baseline pays one full replay each.
+fn sweep_grid(study: &Study) -> Vec<SweepPoint> {
+    let kinds = [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+    ];
+    let layouts: Vec<Arc<oslay_layout::Layout>> = kinds
+        .iter()
+        .map(|&kind| Arc::new(study.os_layout(kind, 8192).layout))
+        .collect();
+    let sizes = [4096u32, 8192, 16384, 32768, 65536, 131072, 262144];
+    let ways = [1u32, 2, 4, 8];
+    let configs: Vec<CacheConfig> = sizes
+        .iter()
+        .flat_map(|&s| ways.iter().map(move |&w| CacheConfig::new(s, 32, w)))
+        .chain([64u32, 128].iter().map(|&l| CacheConfig::new(8192, l, 1)))
+        .collect();
+    let mut points = Vec::new();
+    for wi in 0..study.cases().len() {
+        for &cfg in &configs {
+            for os in &layouts {
+                points.push(SweepPoint {
+                    case: wi,
+                    os: Arc::clone(os),
+                    app: AppSide::Base,
+                    cache: cfg,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// One full sweep of the grid in the given mode; returns total accesses
+/// summed over every grid point (the per-point replay touches each
+/// access once per point, so both modes report the same event count).
+fn run_sweep_bench(study: &Study, sim: &SimConfig, threads: usize, single_pass: bool) -> u64 {
+    let registry = Arc::new(MetricRegistry::new());
+    let results = run_sweep_mode(
+        study,
+        sweep_grid(study),
+        sim,
+        threads,
+        &registry,
+        single_pass,
+    );
+    results.iter().map(|r| r.stats.total_accesses()).sum()
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -248,6 +315,29 @@ fn main() {
     report.push_case(one);
     report.push_case(many);
     report.push_derived("parallel_speedup", speedup);
+
+    // The committed design-space grid, replayed per point vs in one
+    // pass per workload. Both run at the requested worker count; the
+    // derived ratio is the single-pass engine's wall-clock advantage.
+    // Tiny traces are all constant overhead — no consolidation to
+    // measure — so the gated derived field is only recorded at real
+    // scales (the smoke run still prints the observed ratio).
+    let per_point = measure("sweep_per_point", || {
+        run_sweep_bench(&study, &sim, args.threads, false)
+    });
+    let single_pass = measure("sweep_single_pass", || {
+        run_sweep_bench(&study, &sim, args.threads, true)
+    });
+    let sweep_speedup = if single_pass.secs > 0.0 {
+        per_point.secs / single_pass.secs
+    } else {
+        0.0
+    };
+    report.push_case(per_point);
+    report.push_case(single_pass);
+    if scale_name(args.config.scale) != "tiny" {
+        report.push_derived("sweep_speedup", sweep_speedup);
+    }
     report.push_derived(
         "stream_vs_replay_base",
         report.events_per_sec("stream_base").unwrap_or(0.0)
@@ -271,6 +361,7 @@ fn main() {
         "parallel speedup at {} thread(s): {:.2}x",
         args.threads, speedup
     );
+    println!("single-pass sweep speedup: {sweep_speedup:.2}x");
     println!(
         "trace store: {:.2}x over fixed-width ({:.2} B/event)",
         store_summary.compression_ratio(),

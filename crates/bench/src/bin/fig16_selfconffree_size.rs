@@ -7,17 +7,24 @@
 //! the experiments; the 4 KB cache prefers the larger 1.0% area, the 16 KB
 //! cache the smaller 3.0% one; paper SCF sizes: 0 / 376 / 1286 / 2514
 //! bytes.
+//!
+//! Extra flags: `--single-pass` (default) evaluates the whole grid in one
+//! trace pass per workload; `--per-point` replays each point separately.
+//! Output is byte-identical either way.
 
 use std::sync::Arc;
 
 use oslay::analysis::report::TextTable;
 use oslay::cache::CacheConfig;
-use oslay::{OsLayoutKind, SimConfig, Study};
-use oslay_bench::{banner, run_args, run_sweep, AppSide, SweepPoint};
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+use oslay_bench::{banner, run_args_with, run_sweep_mode, sweep_mode_arg, AppSide, SweepPoint};
 use oslay_observe::MetricRegistry;
 
 fn main() {
-    let args = run_args();
+    let mut single_pass = true;
+    let args = run_args_with(StudyConfig::paper(), |arg, _| {
+        sweep_mode_arg(arg, &mut single_pass)
+    });
     let config = args.config;
     banner("Figure 16: SelfConfFree-area size sweep", &config);
     let study = Study::generate_with_threads(&config, args.threads);
@@ -60,7 +67,14 @@ fn main() {
         }
     }
     let registry = Arc::new(MetricRegistry::new());
-    let results = run_sweep(&study, points, &SimConfig::fast(), args.threads, &registry);
+    let results = run_sweep_mode(
+        &study,
+        points,
+        &SimConfig::fast(),
+        args.threads,
+        &registry,
+        single_pass,
+    );
 
     let mut results = results.into_iter();
     for (si, &size) in sizes.iter().enumerate() {

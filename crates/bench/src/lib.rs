@@ -24,7 +24,10 @@ use std::sync::Arc;
 use oslay::cache::{
     AddressMap, AttributedCache, AttributionReport, Cache, CacheConfig, InstructionCache,
 };
-use oslay::{OsLayout, OsLayoutKind, SimConfig, SimResult, Study, StudyConfig, WorkloadCase};
+use oslay::{
+    MultiGroupReplayer, MultiLane, OsLayout, OsLayoutKind, SimConfig, SimResult, Study,
+    StudyConfig, WorkloadCase,
+};
 use oslay_layout::Layout;
 use oslay_model::synth::Scale;
 use oslay_model::Domain;
@@ -522,13 +525,14 @@ pub fn run_sweep(
     threads: usize,
     registry: &Arc<MetricRegistry>,
 ) -> Vec<SimResult> {
+    let apps = memoized_app_layouts(study, &points);
+    let jobs: Vec<(SweepPoint, Option<Arc<Layout>>)> = points.into_iter().zip(apps).collect();
     let group = timeline::group();
-    let sharded = oslay::exec::parallel_map(threads, points, |i, p| {
+    let sharded = oslay::exec::parallel_map(threads, jobs, |i, (p, app)| {
         let case = &study.cases()[p.case];
         let _t = timeline::scope(group, i as u64, format!("{}@{}", case.name(), p.cache));
-        let app = app_layout_for(study, case, p.app, p.cache.size());
         let shard = Arc::new(MetricRegistry::new());
-        let r = run_probed_on(study, case, &p.os, app.as_ref(), p.cache, sim, &shard);
+        let r = run_probed_on(study, case, &p.os, app.as_deref(), p.cache, sim, &shard);
         (r, shard)
     });
     let mut out = Vec::with_capacity(sharded.len());
@@ -537,6 +541,221 @@ pub fn run_sweep(
         out.push(r);
     }
     out
+}
+
+/// Builds each distinct application layout a sweep grid needs exactly
+/// once, on the caller's thread, returning one (shared) layout per point
+/// in point order.
+///
+/// The memo key is `(case, app side, size key)`, where the cache size
+/// participates only for [`AppSide::Optimized`] — the Base and Chang–Hwu
+/// application layouts do not depend on it, so sweeping cache sizes
+/// reuses a single build. Points sharing a key share one [`Arc`], which
+/// the single-pass driver additionally relies on to group lanes.
+fn memoized_app_layouts(study: &Study, points: &[SweepPoint]) -> Vec<Option<Arc<Layout>>> {
+    type MemoKey = (usize, AppSide, u32);
+    let mut memo: Vec<(MemoKey, Option<Arc<Layout>>)> = Vec::new();
+    points
+        .iter()
+        .map(|p| {
+            let size_key = match p.app {
+                AppSide::Optimized => p.cache.size(),
+                AppSide::Base | AppSide::ChangHwu => 0,
+            };
+            let key = (p.case, p.app, size_key);
+            if let Some((_, hit)) = memo.iter().find(|(k, _)| *k == key) {
+                return hit.clone();
+            }
+            let built =
+                app_layout_for(study, &study.cases()[p.case], p.app, p.cache.size()).map(Arc::new);
+            memo.push((key, built.clone()));
+            built
+        })
+        .collect()
+}
+
+/// Evaluates every sweep point in **one trace pass per workload case**
+/// instead of one replay per point, returning exactly what [`run_sweep`]
+/// would: the same results and the same final registry state (hence
+/// byte-identical run-report metrics) at any worker count.
+///
+/// Points are partitioned by case in first-appearance order; each case
+/// job walks the trace once ([`Study::stream_case`]) and feeds every
+/// distinct layout pair's [`MultiLane`], whose
+/// [`oslay::cache::MultiSim`] settles all cache organizations of that
+/// pair simultaneously — stack inclusion across sizes/associativities
+/// sharing a line size, banked tag arrays across line sizes. Each grid
+/// point's cache events are then mirrored into a private registry shard
+/// and the shards fold into `registry` in global point order, the same
+/// merge contract as [`run_sweep`].
+///
+/// Only aggregate statistics can be collected this way: a [`SimConfig`]
+/// requesting miss maps or per-block counts falls back to [`run_sweep`]
+/// (no committed sweep grid requests either). The timeline stream
+/// differs from per-point mode — one recorded run per case rather than
+/// per point — but is itself worker-count-invariant.
+#[must_use]
+pub fn run_sweep_single_pass(
+    study: &Study,
+    points: Vec<SweepPoint>,
+    sim: &SimConfig,
+    threads: usize,
+    registry: &Arc<MetricRegistry>,
+) -> Vec<SimResult> {
+    if sim.os_miss_map || sim.block_misses {
+        return run_sweep(study, points, sim, threads, registry);
+    }
+    let apps = memoized_app_layouts(study, &points);
+
+    /// One distinct layout pair within a case: the cache organizations
+    /// to evaluate under it and, per organization, the global grid index
+    /// its result belongs to.
+    struct LaneSpec {
+        os: Arc<Layout>,
+        app: Option<Arc<Layout>>,
+        configs: Vec<CacheConfig>,
+        origin: Vec<usize>,
+    }
+    struct CaseJob {
+        case: usize,
+        lanes: Vec<LaneSpec>,
+    }
+    let mut jobs: Vec<CaseJob> = Vec::new();
+    for (gi, (p, app)) in points.iter().zip(&apps).enumerate() {
+        let job = match jobs.iter_mut().find(|j| j.case == p.case) {
+            Some(j) => j,
+            None => {
+                jobs.push(CaseJob {
+                    case: p.case,
+                    lanes: Vec::new(),
+                });
+                jobs.last_mut().expect("just pushed")
+            }
+        };
+        // Lane identity: same OS layout (pointer fast path, then
+        // content) and same memoized app layout (pointer equality is
+        // exact: `memoized_app_layouts` shares one Arc per key).
+        let same_app = |l: &LaneSpec| match (&l.app, app) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        let lane = match job
+            .lanes
+            .iter_mut()
+            .find(|l| (Arc::ptr_eq(&l.os, &p.os) || l.os == p.os) && same_app(l))
+        {
+            Some(l) => l,
+            None => {
+                job.lanes.push(LaneSpec {
+                    os: Arc::clone(&p.os),
+                    app: app.clone(),
+                    configs: Vec::new(),
+                    origin: Vec::new(),
+                });
+                job.lanes.last_mut().expect("just pushed")
+            }
+        };
+        lane.configs.push(p.cache);
+        lane.origin.push(gi);
+    }
+
+    let group = timeline::group();
+    let sharded = oslay::exec::parallel_map(threads, jobs, |i, job| {
+        let case = &study.cases()[job.case];
+        let _t = timeline::scope(group, i as u64, format!("{}@multi", case.name()));
+        let lanes: Vec<MultiLane> = job
+            .lanes
+            .iter()
+            .map(|l| MultiLane::new(Arc::clone(&l.os), l.app.clone(), &l.configs))
+            .collect();
+        let mut replayer = MultiGroupReplayer::new(lanes);
+        {
+            // Feed the buffered trace — the same event source the
+            // per-point `Study::simulate` path iterates — rather than
+            // re-running the engine walk per case.
+            use oslay::trace::TraceSink as _;
+            let _span = oslay_observe::span("study.sim");
+            for event in case.trace.events() {
+                replayer.event(*event);
+            }
+        }
+        let lanes = replayer.finish();
+        // One (result, registry shard) per grid point of this case,
+        // tagged with its global index for the ordered fold below.
+        let mut settled = Vec::new();
+        for (lane, spec) in lanes.iter().zip(&job.lanes) {
+            for (k, &gi) in spec.origin.iter().enumerate() {
+                let shard = Arc::new(MetricRegistry::new());
+                lane.sim().report_into(k, shard.as_ref());
+                settled.push((
+                    gi,
+                    SimResult {
+                        stats: lane.sim().stats(k),
+                        os_miss_map: None,
+                        os_self_miss_map: None,
+                        os_cross_miss_map: None,
+                        os_block_misses: None,
+                        app_block_misses: None,
+                    },
+                    shard,
+                ));
+            }
+        }
+        settled
+    });
+
+    let n = apps.len();
+    let mut slots: Vec<Option<(SimResult, Arc<MetricRegistry>)>> = vec![None; n];
+    for (gi, r, shard) in sharded.into_iter().flatten() {
+        slots[gi] = Some((r, shard));
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        let (r, shard) = slot.expect("every grid point settled by its case job");
+        registry.merge_from(&shard);
+        out.push(r);
+    }
+    out
+}
+
+/// Handles the sweep-mode flags shared by the fig15/16/17 binaries:
+/// `--single-pass` selects [`run_sweep_single_pass`] (their default),
+/// `--per-point` selects the legacy [`run_sweep`]. Returns whether the
+/// token was consumed, for use inside a [`run_args_with`] `extra`
+/// handler.
+pub fn sweep_mode_arg(arg: &str, single_pass: &mut bool) -> bool {
+    match arg {
+        "--single-pass" => {
+            *single_pass = true;
+            true
+        }
+        "--per-point" => {
+            *single_pass = false;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Dispatches a sweep grid to [`run_sweep_single_pass`] or the per-point
+/// [`run_sweep`] according to the mode flag parsed by
+/// [`sweep_mode_arg`]. Results are identical either way; only wall-clock
+/// (and the timeline grouping) differs.
+#[must_use]
+pub fn run_sweep_mode(
+    study: &Study,
+    points: Vec<SweepPoint>,
+    sim: &SimConfig,
+    threads: usize,
+    registry: &Arc<MetricRegistry>,
+    single_pass: bool,
+) -> Vec<SimResult> {
+    if single_pass {
+        run_sweep_single_pass(study, points, sim, threads, registry)
+    } else {
+        run_sweep(study, points, sim, threads, registry)
+    }
 }
 
 /// Runs every workload under every OS layout kind in `kinds` through the

@@ -1,7 +1,9 @@
 //! Trace replay through a cache under a pair of layouts.
 
+use std::sync::Arc;
+
 use oslay_analysis::missmap::AddressHistogram;
-use oslay_cache::{InstructionCache, MissStats};
+use oslay_cache::{CacheConfig, InstructionCache, MissStats, MultiSim};
 use oslay_layout::Layout;
 use oslay_model::Domain;
 use oslay_observe::timeline::{self, CacheSnapshot, WindowRecorder};
@@ -275,6 +277,191 @@ impl<'a, C: InstructionCache + ?Sized> Replayer<'a, C> {
 impl<C: InstructionCache + ?Sized> oslay_trace::TraceSink for Replayer<'_, C> {
     fn event(&mut self, event: TraceEvent) {
         self.on_event(event);
+    }
+}
+
+/// Duplicates a trace stream into several sinks, in order.
+///
+/// The fan-out half of single-pass sweeping: one trace decode (or one
+/// engine walk) feeds any number of consumers — e.g. the archived-matrix
+/// driver decodes each `.otr` case once and replays it through every
+/// layout's [`Replayer`] side by side instead of re-decoding per point.
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn oslay_trace::TraceSink>,
+}
+
+impl std::fmt::Debug for FanoutSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl<'a> FanoutSink<'a> {
+    /// Wraps the given sinks; every event is forwarded to each of them in
+    /// the order given.
+    #[must_use]
+    pub fn new(sinks: Vec<&'a mut dyn oslay_trace::TraceSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl oslay_trace::TraceSink for FanoutSink<'_> {
+    fn event(&mut self, event: TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+/// One layout pair within a [`MultiGroupReplayer`]: a multi-configuration
+/// simulator ([`MultiSim`]) fed through this pair's address mapping.
+///
+/// Points sharing a trace but differing in OS or app layout cannot share
+/// a [`MultiSim`] (their address streams differ), so each distinct layout
+/// pair gets a lane and all lanes ride the same trace walk.
+#[derive(Clone, Debug)]
+pub struct MultiLane {
+    os_layout: Arc<Layout>,
+    app_layout: Option<Arc<Layout>>,
+    sim: MultiSim,
+}
+
+impl MultiLane {
+    /// Creates a lane simulating every configuration in `configs` under
+    /// the given layout pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    #[must_use]
+    pub fn new(
+        os_layout: Arc<Layout>,
+        app_layout: Option<Arc<Layout>>,
+        configs: &[CacheConfig],
+    ) -> Self {
+        Self {
+            os_layout,
+            app_layout,
+            sim: MultiSim::new(configs),
+        }
+    }
+
+    /// The OS layout this lane maps OS blocks through.
+    #[must_use]
+    pub fn os_layout(&self) -> &Arc<Layout> {
+        &self.os_layout
+    }
+
+    /// The app layout this lane maps app blocks through, if any.
+    #[must_use]
+    pub fn app_layout(&self) -> Option<&Arc<Layout>> {
+        self.app_layout.as_ref()
+    }
+
+    /// The lane's simulator, for per-point results after the replay.
+    #[must_use]
+    pub fn sim(&self) -> &MultiSim {
+        &self.sim
+    }
+}
+
+/// Timeline sample for a lane group. There is no single "the cache" here;
+/// by convention the first configured point of the first lane represents
+/// the group (the committed sweep grids list the baseline point first),
+/// and no probe sample is attached.
+fn multi_snapshot(lanes: &[MultiLane]) -> CacheSnapshot {
+    let stats = lanes[0].sim.stats(0);
+    CacheSnapshot {
+        accesses: stats.total_accesses(),
+        os_accesses: stats.accesses(Domain::Os),
+        misses: stats.total_misses(),
+        cold_misses: stats.misses(oslay_cache::MissKind::Cold),
+        probe: None,
+    }
+}
+
+/// A streaming trace consumer that drives a whole sweep group — several
+/// layout-pair lanes, each simulating many cache configurations — through
+/// one walk of the trace.
+///
+/// The single-pass counterpart of [`Replayer`]: where that maps each
+/// event to one fetch against one cache, this maps it through every
+/// lane's layouts into that lane's [`MultiSim`]. Only aggregate
+/// statistics are collected (the equivalent of [`SimConfig::fast`]);
+/// sweeps needing miss maps or per-block counts replay per point.
+///
+/// # Panics
+///
+/// [`oslay_trace::TraceSink::event`] panics if an app block arrives on a
+/// lane without an app layout.
+pub struct MultiGroupReplayer {
+    lanes: Vec<MultiLane>,
+    /// Timeline recorder, present only when the timeline is enabled and
+    /// this thread is inside a recording scope (same contract as
+    /// [`Replayer`]); samples carry no per-cache probe data.
+    telemetry: Option<Box<WindowRecorder>>,
+}
+
+impl std::fmt::Debug for MultiGroupReplayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiGroupReplayer")
+            .field("lanes", &self.lanes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiGroupReplayer {
+    /// Creates a replayer over the given lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty.
+    #[must_use]
+    pub fn new(lanes: Vec<MultiLane>) -> Self {
+        assert!(!lanes.is_empty(), "a sweep group needs at least one lane");
+        Self {
+            lanes,
+            telemetry: timeline::recorder().map(Box::new),
+        }
+    }
+
+    /// Finishes the replay and hands the lanes (with their accumulated
+    /// per-point results) back. Closes the timeline run if one was
+    /// recording.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<MultiLane> {
+        if let Some(tl) = self.telemetry.take() {
+            tl.finish(&multi_snapshot(&self.lanes));
+        }
+        self.lanes
+    }
+}
+
+impl oslay_trace::TraceSink for MultiGroupReplayer {
+    fn event(&mut self, event: TraceEvent) {
+        if let TraceEvent::Block { id, domain } = event {
+            for lane in &mut self.lanes {
+                let layout = match domain {
+                    Domain::Os => &lane.os_layout,
+                    Domain::App => lane
+                        .app_layout
+                        .as_ref()
+                        .expect("app block but no app layout"),
+                };
+                lane.sim
+                    .access_words(layout.addr(id), layout.fetch_words(id), domain);
+            }
+        }
+        // Boundary and marker events fetch nothing (and a sweep group has
+        // no diagnostic hooks), but they still advance the timeline so
+        // window boundaries line up with the per-point replays.
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            if tl.tick() {
+                tl.sample(&multi_snapshot(&self.lanes));
+            }
+        }
     }
 }
 

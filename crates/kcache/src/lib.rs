@@ -25,6 +25,7 @@
 mod attribution;
 mod census;
 mod config;
+mod multisim;
 #[doc(hidden)]
 pub mod reference;
 mod reserved;
@@ -39,6 +40,7 @@ pub use attribution::{
 };
 pub use census::SetCensus;
 pub use config::CacheConfig;
+pub use multisim::MultiSim;
 pub use reserved::ReservedCache;
 pub use sim::{AccessDetail, AccessOutcome, Cache, MissKind};
 pub use split::SplitCache;

@@ -152,7 +152,7 @@ const TAG_EMPTY: u64 = u64::MAX;
 /// bit-identical to the unbounded map while memory stays bounded at
 /// `O(sets × cap)` worst case.
 #[derive(Clone, Debug)]
-struct EvictTable {
+pub(crate) struct EvictTable {
     cap: usize,
     /// Per set: records `(line_key, evictor)` sorted by key, plus the
     /// round-robin drop cursor used when the set is at capacity.
@@ -161,9 +161,9 @@ struct EvictTable {
 
 impl EvictTable {
     /// Default per-set record bound.
-    const DEFAULT_CAP: usize = 4096;
+    pub(crate) const DEFAULT_CAP: usize = 4096;
 
-    fn new(num_sets: usize, cap: usize) -> Self {
+    pub(crate) fn new(num_sets: usize, cap: usize) -> Self {
         assert!(cap > 0, "evict table needs capacity");
         Self {
             cap,
@@ -171,7 +171,7 @@ impl EvictTable {
         }
     }
 
-    fn lookup(&self, set: u32, key: u64) -> Option<Domain> {
+    pub(crate) fn lookup(&self, set: u32, key: u64) -> Option<Domain> {
         let records = &self.sets[set as usize].0;
         records
             .binary_search_by_key(&key, |&(k, _)| k)
@@ -179,7 +179,7 @@ impl EvictTable {
             .map(|i| records[i].1)
     }
 
-    fn record(&mut self, set: u32, key: u64, evictor: Domain) {
+    pub(crate) fn record(&mut self, set: u32, key: u64, evictor: Domain) {
         let (records, cursor) = &mut self.sets[set as usize];
         match records.binary_search_by_key(&key, |&(k, _)| k) {
             Ok(i) => records[i].1 = evictor,

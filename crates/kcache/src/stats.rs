@@ -13,6 +13,18 @@ pub struct MissStats {
 }
 
 impl MissStats {
+    /// Assembles a stats block from already-accumulated counters (the
+    /// multi-configuration simulator derives per-point hits as
+    /// `accesses - misses-suffered` at the end of a pass instead of
+    /// recording per access).
+    pub(crate) fn from_parts(accesses: [u64; 2], hits: [u64; 2], misses_by_kind: [u64; 5]) -> Self {
+        Self {
+            accesses,
+            hits,
+            misses_by_kind,
+        }
+    }
+
     /// Records one access outcome.
     pub fn record(&mut self, domain: Domain, outcome: AccessOutcome) {
         self.accesses[domain.index()] += 1;

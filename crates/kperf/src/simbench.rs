@@ -148,11 +148,20 @@ impl BenchReport {
 /// `trace_compression_ratio` derived field are gated against it.
 pub const MIN_TRACE_COMPRESSION_RATIO: f64 = 3.0;
 
+/// The minimum acceptable single-pass sweep speedup over per-point
+/// replay of the committed design-space grid. Reports that carry a
+/// `sweep_speedup` derived field are gated against it. The target (and
+/// typical measurement) is >= 5x; the floor sits below it so a loaded
+/// machine does not flake the gate, while still catching any real
+/// regression of the single-pass engine.
+pub const MIN_SWEEP_SPEEDUP: f64 = 4.0;
+
 /// Validates serialized `BENCH_sim.json` text: it must parse as a
 /// [`RunReport`] and carry at least one `bench.*` case section whose
 /// `events_per_sec` field is strictly positive. When the derived section
 /// records a `trace_compression_ratio`, it must meet
-/// [`MIN_TRACE_COMPRESSION_RATIO`].
+/// [`MIN_TRACE_COMPRESSION_RATIO`]; a recorded `sweep_speedup` must
+/// meet [`MIN_SWEEP_SPEEDUP`].
 ///
 /// # Errors
 ///
@@ -180,6 +189,13 @@ pub fn validate(text: &str) -> Result<(), String> {
         if ratio < MIN_TRACE_COMPRESSION_RATIO {
             return Err(format!(
                 "trace_compression_ratio {ratio:.2} below the {MIN_TRACE_COMPRESSION_RATIO}x floor"
+            ));
+        }
+    }
+    if let Some(ratio) = report.section_field("bench.derived", "sweep_speedup") {
+        if ratio < MIN_SWEEP_SPEEDUP {
+            return Err(format!(
+                "sweep_speedup {ratio:.2} below the {MIN_SWEEP_SPEEDUP}x floor"
             ));
         }
     }
@@ -253,5 +269,18 @@ mod tests {
         r.push_derived("trace_compression_ratio", 2.1);
         let err = validate(&r.to_json()).expect_err("ratio below the floor fails");
         assert!(err.contains("trace_compression_ratio"), "{err}");
+    }
+
+    #[test]
+    fn validate_gates_sweep_speedup() {
+        let mut r = sample();
+        r.push_derived("sweep_speedup", 5.2);
+        validate(&r.to_json()).expect("speedup above the floor passes");
+        let mut r = sample();
+        r.push_derived("sweep_speedup", 3.1);
+        let err = validate(&r.to_json()).expect_err("speedup below the floor fails");
+        assert!(err.contains("sweep_speedup"), "{err}");
+        let r = sample();
+        validate(&r.to_json()).expect("absent speedup field is not gated");
     }
 }
