@@ -253,4 +253,48 @@ if cargo run --release -q -p oslay-bench --bin dash -- \
 fi
 rm -rf "$tmpdir"
 
+echo "== layout search gate: determinism, lint-clean winner, flag checks =="
+tmpdir="$(mktemp -d)"
+repo_root="$PWD"
+for t in 1 2; do
+  d="$tmpdir/t$t"
+  mkdir -p "$d/results"
+  (
+    cd "$d"
+    cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+      -p oslay-bench --bin search -- \
+      --scale tiny --threads "$t" --budget 2000 --restarts 2 \
+      --layout-out layout.json > stdout.txt 2> /dev/null
+  )
+done
+# The whole pipeline — restart fan-out, replay selection, attributed
+# validation — must be byte-identical at 1 vs 2 workers: stdout, the
+# exported winning layout, and the run report (telemetry fields aside).
+diff "$tmpdir/t1/stdout.txt" "$tmpdir/t2/stdout.txt"
+cmp "$tmpdir/t1/layout.json" "$tmpdir/t2/layout.json"
+nondet='"(secs|alloc_calls|alloc_bytes|live_bytes|peak_bytes)"'
+diff <(grep -vE "$nondet" "$tmpdir/t1/results/search.json") \
+     <(grep -vE "$nondet" "$tmpdir/t2/results/search.json")
+# The exported winner must re-assemble and lint clean from disk.
+cargo run --release -q -p oslay-bench --bin lint -- \
+  --scale tiny --layout-file "$tmpdir/t1/layout.json" --deny warnings \
+  > "$tmpdir/lint.txt"
+grep -q "0 error(s), 0 warning(s)" "$tmpdir/lint.txt"
+# An invalid budget must fail fast with the usage text, not search.
+if cargo run --release -q -p oslay-bench --bin search -- \
+    --scale tiny --budget banana > /dev/null 2> "$tmpdir/err.txt"; then
+  echo "search accepted a non-numeric --budget" >&2
+  exit 1
+fi
+grep -q -- "--budget must be an integer" "$tmpdir/err.txt"
+grep -q "common experiment flags" "$tmpdir/err.txt"
+# A truncated flag (missing value) must fail the same way.
+if cargo run --release -q -p oslay-bench --bin search -- \
+    --scale tiny --budget > /dev/null 2> "$tmpdir/err2.txt"; then
+  echo "search accepted a --budget with no value" >&2
+  exit 1
+fi
+grep -q -- "--budget needs a value" "$tmpdir/err2.txt"
+rm -rf "$tmpdir"
+
 echo "CI OK"

@@ -25,6 +25,13 @@
 //!   evaluated in one trace pass per workload (`oslay_cache::MultiSim`);
 //!   their ratio is the `sweep_speedup` derived field, recorded at every
 //!   scale but smoke (a ~1k-block trace measures only setup overhead).
+//! - `search_score`: the layout-search inner loop in isolation — a
+//!   single hill-climbing walk from the OptS seed; `events` counts
+//!   incremental objective evaluations (trial applies), so the rate is
+//!   predictor evaluations/sec. Gated by the simbench validator floor.
+//! - `search_walk`: the end-to-end `run_search` fan-out (propose, gate,
+//!   score, anneal, restart bookkeeping); `events` counts proposed
+//!   candidates, so the rate is candidates/sec. Also floor-gated.
 //!
 //! The counting allocator is installed process-wide, so `allocs` /
 //! `peak_bytes` columns are real measurements, not estimates.
@@ -338,6 +345,45 @@ fn main() {
     if scale_name(args.config.scale) != "tiny" {
         report.push_derived("sweep_speedup", sweep_speedup);
     }
+
+    // The layout-search engine (oslay-search). `search_score` isolates
+    // the incremental objective: one deterministic hill-climbing walk,
+    // events = trial evaluations (`scored`), so the rate is predictor
+    // evaluations/sec. `search_walk` runs the whole restart fan-out and
+    // counts every proposed candidate (gate-rejected ones included —
+    // rejecting cheaply is part of the engine's job). Both rates are
+    // gated by absolute floors in `oslay_perf::simbench::validate`, set
+    // far below any measured machine so only a real algorithmic
+    // regression (e.g. an accidental full rescore per step) trips them.
+    let program = &study.kernel().program;
+    let profile = study.averaged_os_profile();
+    let seed_view = oslay_verify::LayoutView::from_layout(&os_opt.layout);
+    report.push_case(measure("search_score", || {
+        let mut state = oslay_search::SearchState::new(
+            program,
+            profile,
+            &seed_view,
+            &cfg,
+            oslay_search::ObjectiveWeights::default(),
+            2,
+        );
+        let mut rng = oslay_model::rng::Rng::seed_from_u64(args.config.seed);
+        for _ in 0..200_000u64 {
+            state.step(&mut rng, 0.0);
+        }
+        state.stats().scored
+    }));
+    report.push_case(measure("search_walk", || {
+        let params = oslay_search::SearchParams {
+            budget: 40_000,
+            restarts: 2,
+            seed: args.config.seed,
+            ..oslay_search::SearchParams::default()
+        };
+        let outcome =
+            oslay_search::run_search(program, profile, &seed_view, &cfg, &params, args.threads);
+        outcome.restarts.iter().map(|r| r.stats.proposed).sum()
+    }));
     report.push_derived(
         "stream_vs_replay_base",
         report.events_per_sec("stream_base").unwrap_or(0.0)

@@ -8,6 +8,10 @@
 //! ```text
 //! lint [--scale tiny|small|paper] [--blocks N] [--seed N]
 //!      [--layout base|ch|opts|optl|opta|call|all]   # default: all
+//!      [--layout-file FILE]     # lint an external OS layout written by
+//!                               # `search --layout-out` (JSON with
+//!                               # "name"/"addr"/"size"); replaces the
+//!                               # default layout set
 //!      [--json]                 # machine-readable reports
 //!      [--deny warnings]        # promote warnings to failures
 //!      [--mutate block-swap|loop-shift|scf-overlap]
@@ -33,6 +37,7 @@ use oslay_verify::{
 struct LintArgs {
     config: StudyConfig,
     layouts: Vec<String>,
+    layout_file: Option<std::path::PathBuf>,
     json: bool,
     deny_warnings: bool,
     mutate: Option<String>,
@@ -44,6 +49,7 @@ const ALL_LAYOUTS: [&str; 6] = ["base", "ch", "opts", "optl", "opta", "call"];
 
 fn parse_args() -> LintArgs {
     let mut layouts: Vec<String> = Vec::new();
+    let mut layout_file: Option<std::path::PathBuf> = None;
     let mut json = false;
     let mut deny_warnings = false;
     let mut mutate: Option<String> = None;
@@ -62,6 +68,11 @@ fn parse_args() -> LintArgs {
                 );
                 layouts.push(v);
             }
+            true
+        }
+        "--layout-file" => {
+            let v = rest.pop_front().expect("--layout-file needs a path");
+            layout_file = Some(v.into());
             true
         }
         "--json" => {
@@ -95,12 +106,15 @@ fn parse_args() -> LintArgs {
         _ => false,
     });
     oslay_bench::apply_run_args(&args);
-    if layouts.is_empty() {
+    // An explicit --layout-file lints only that file unless named
+    // layouts were also requested.
+    if layouts.is_empty() && layout_file.is_none() {
         layouts = ALL_LAYOUTS.iter().map(|s| (*s).to_owned()).collect();
     }
     LintArgs {
         config: args.config,
         layouts,
+        layout_file,
         json,
         deny_warnings,
         mutate,
@@ -183,6 +197,65 @@ fn apply_mutation(opt: &OptLayout, view: &mut LayoutView, cache_size: u32, which
         }
         other => unreachable!("unknown mutation {other}"),
     }
+}
+
+/// Loads an external layout file (`search --layout-out` format: a JSON
+/// object with `"name"`, `"addr"` and `"size"` arrays) as a
+/// [`LayoutView`].
+fn load_layout_view(path: &std::path::Path) -> LayoutView {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--layout-file {}: {e}", path.display()));
+    let doc = oslay_observe::json::parse(&text)
+        .unwrap_or_else(|e| panic!("--layout-file {}: not JSON: {e}", path.display()));
+    let field = |key: &str| {
+        doc.get(key)
+            .unwrap_or_else(|| panic!("--layout-file {}: missing {key:?}", path.display()))
+    };
+    let list = |key: &str| {
+        field(key)
+            .as_array()
+            .unwrap_or_else(|| panic!("--layout-file {}: {key:?} must be an array", path.display()))
+    };
+    let name = field("name")
+        .as_str()
+        .unwrap_or_else(|| {
+            panic!(
+                "--layout-file {}: \"name\" must be a string",
+                path.display()
+            )
+        })
+        .to_owned();
+    let addr: Vec<u64> = list("addr")
+        .iter()
+        .map(|v| {
+            v.as_u64().unwrap_or_else(|| {
+                panic!(
+                    "--layout-file {}: \"addr\" entries must be non-negative integers",
+                    path.display()
+                )
+            })
+        })
+        .collect();
+    let size: Vec<u32> = list("size")
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "--layout-file {}: \"size\" entries must be u32 integers",
+                        path.display()
+                    )
+                })
+        })
+        .collect();
+    assert_eq!(
+        addr.len(),
+        size.len(),
+        "--layout-file {}: addr and size lengths differ",
+        path.display()
+    );
+    LayoutView { name, addr, size }
 }
 
 fn print_report(report: &VerifyReport, json: bool) {
@@ -319,6 +392,35 @@ fn main() -> ExitCode {
                     }
                 }
                 other => unreachable!("unknown layout {other}"),
+            }
+        }
+        if let Some(path) = &args.layout_file {
+            // External layouts (e.g. `search --layout-out`) must both
+            // re-assemble against the kernel program — which checks
+            // block count, span validity and stretch accounting — and
+            // pass the structural invariants on the view itself.
+            let view = load_layout_view(path);
+            if view.addr.len() != program.num_blocks() {
+                eprintln!(
+                    "lint: {}: {} block(s) but the kernel has {} — wrong --scale/--blocks/--seed?",
+                    path.display(),
+                    view.addr.len(),
+                    program.num_blocks()
+                );
+                oslay_bench::flush_trace();
+                return ExitCode::FAILURE;
+            }
+            match oslay_layout::Layout::assemble(program, view.name.clone(), &view.addr, &view.size)
+            {
+                Ok(_) => reports.push(verify_structural(program, &view)),
+                Err(e) => {
+                    eprintln!("lint: {}: does not assemble: {e}", path.display());
+                    oslay_bench::flush_trace();
+                    return ExitCode::FAILURE;
+                }
+            }
+            if args.predict {
+                print_prediction(&study, &view.name.clone(), &view, args.top);
             }
         }
         if args.predict && args.layouts.iter().any(|l| l == "base") {

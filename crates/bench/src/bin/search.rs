@@ -1,0 +1,257 @@
+//! Beyond the paper: metaheuristic layout search seeded from OptS.
+//!
+//! Fans out hill-climbing + simulated-annealing restarts over
+//! `LayoutView` atom mutations, scored by the trace-free conflict
+//! predictor plus an ext-TSP distance term, then validates the winner
+//! end-to-end with full attributed replay against Base, Chang–Hwu,
+//! OptS, and OptL. Writes `results/search.json` (objective trace,
+//! best-so-far curve, per-workload replay ranking) for `dash` and
+//! regression compare.
+//!
+//! Additional flags on top of the common set:
+//!
+//! ```text
+//! --budget N         candidate proposals per restart (default 100000)
+//! --restarts N       independent restarts (default 6)
+//! --w-conflict N     weight of the predicted-conflict objective half
+//! --w-distance N     weight of the arc-distance objective half
+//! --layout-out FILE  write the winning layout as JSON {name, addr, size}
+//! ```
+//!
+//! Output is byte-identical at any `--threads N`.
+
+use std::path::PathBuf;
+
+use oslay::analysis::report::TextTable;
+use oslay::cache::CacheConfig;
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+use oslay_bench::{
+    banner, run_args_with, run_attributed_matrix, run_attributed_row, run_layout_search, Reporter,
+};
+use oslay_search::{ObjectiveWeights, SearchParams};
+
+fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let v = v.unwrap_or_else(|| panic!("{flag} needs a value\n{}", oslay_bench::usage_text()));
+    v.parse().unwrap_or_else(|_| {
+        panic!(
+            "{flag} must be an integer, got {v:?}\n{}",
+            oslay_bench::usage_text()
+        )
+    })
+}
+
+fn main() {
+    let mut budget: u64 = 100_000;
+    let mut restarts: u32 = 6;
+    let mut weights = ObjectiveWeights::default();
+    let mut layout_out: Option<PathBuf> = None;
+    let args = run_args_with(StudyConfig::small(), |arg, rest| match arg {
+        "--budget" => {
+            budget = numeric(arg, rest.pop_front());
+            true
+        }
+        "--restarts" => {
+            restarts = numeric(arg, rest.pop_front());
+            true
+        }
+        "--w-conflict" => {
+            weights.conflict = numeric(arg, rest.pop_front());
+            true
+        }
+        "--w-distance" => {
+            weights.distance = numeric(arg, rest.pop_front());
+            true
+        }
+        "--layout-out" => {
+            layout_out = rest.pop_front().map(PathBuf::from);
+            assert!(
+                layout_out.is_some(),
+                "--layout-out needs a file path\n{}",
+                oslay_bench::usage_text()
+            );
+            true
+        }
+        _ => false,
+    });
+    let config = args.config;
+    banner(
+        "Layout search: metaheuristic vs the hand-derived layouts",
+        &config,
+    );
+    let mut reporter = Reporter::new("search");
+    let registry = reporter.registry();
+    let study = Study::generate_with_threads(&config, args.threads);
+    let cfg = CacheConfig::paper_default();
+    let sim = SimConfig::fast();
+    let params = SearchParams {
+        budget,
+        restarts,
+        seed: config.seed,
+        weights,
+        ..SearchParams::default()
+    };
+
+    println!(
+        "search: budget {budget} x {restarts} restart(s), weights conflict={} distance={}, \
+         seed {:#x}",
+        weights.conflict, weights.distance, config.seed
+    );
+    let searched = run_layout_search(&study, cfg, &params, &sim, args.threads);
+    let outcome = &searched.outcome;
+
+    let mut table = TextTable::new([
+        "restart", "initial", "best", "gain", "proposed", "gate-rej", "accepted",
+    ]);
+    for r in &outcome.restarts {
+        table.row([
+            format!(
+                "{}{}",
+                r.restart,
+                if r.restart == 0 { " (climb)" } else { "" }
+            ),
+            r.initial.to_string(),
+            r.best.to_string(),
+            format!(
+                "{:.2}%",
+                (r.initial - r.best) as f64 / r.initial.max(1) as f64 * 100.0
+            ),
+            r.stats.proposed.to_string(),
+            r.stats.gate_rejected.to_string(),
+            r.stats.accepted.to_string(),
+        ]);
+        reporter.add_section(
+            &format!("search.restart.{}", r.restart),
+            [
+                ("initial", r.initial as f64),
+                ("best", r.best as f64),
+                ("proposed", r.stats.proposed as f64),
+                ("gate_rejected", r.stats.gate_rejected as f64),
+                ("scored", r.stats.scored as f64),
+                ("accepted", r.stats.accepted as f64),
+                ("accepted_worse", r.stats.accepted_worse as f64),
+                ("rejected_worse", r.stats.rejected_worse as f64),
+            ],
+        );
+    }
+    print!("{}", table.render());
+    let best = outcome.restarts[outcome.winner as usize].best;
+    println!(
+        "objective: initial {} -> best {} (restart {}, {:.2}% lower)",
+        outcome.initial,
+        best,
+        outcome.winner,
+        (outcome.initial - best) as f64 / outcome.initial.max(1) as f64 * 100.0
+    );
+    let chosen = searched.selection.chosen;
+    let seed_misses: u64 = searched.selection.misses[0].iter().sum();
+    println!(
+        "replay selection: candidate {} of {} ({}; {} of {} candidates matched or beat \
+         the seed's total misses)",
+        chosen,
+        searched.candidates.len(),
+        if chosen == 0 {
+            "seed retained".to_owned()
+        } else {
+            format!("restart {}", chosen - 1)
+        },
+        searched
+            .selection
+            .misses
+            .iter()
+            .skip(1)
+            .filter(|row| row.iter().sum::<u64>() <= seed_misses)
+            .count(),
+        searched.candidates.len() - 1,
+    );
+    let mut table = TextTable::new(["candidate", "objective", "replay misses", "worse than seed"]);
+    for (k, row) in searched.selection.misses.iter().enumerate() {
+        table.row([
+            if k == 0 {
+                "seed (OptS)".to_owned()
+            } else {
+                format!("restart {}", k - 1)
+            },
+            if k == 0 {
+                outcome.initial.to_string()
+            } else {
+                outcome.restarts[k - 1].best.to_string()
+            },
+            row.iter().sum::<u64>().to_string(),
+            format!("{} case(s)", searched.selection.worse_cases[k]),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    reporter.add_section(
+        "search.meta",
+        [
+            ("budget", budget as f64),
+            ("restarts", f64::from(restarts)),
+            ("winner_restart", f64::from(outcome.winner)),
+            ("chosen_candidate", chosen as f64),
+            ("initial_objective", outcome.initial as f64),
+            ("best_objective", best as f64),
+        ],
+    );
+    reporter.add_section(
+        "search.curve",
+        outcome.restarts[outcome.winner as usize]
+            .curve
+            .iter()
+            .map(|&(step, obj)| (format!("s{step:07}"), obj as f64)),
+    );
+
+    // End-to-end validation: full attributed replay, searched layout
+    // ranked against the named kinds.
+    let kinds = [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+        OsLayoutKind::OptL,
+    ];
+    let matrix = run_attributed_matrix(&study, &kinds, cfg, &sim, args.threads, &registry);
+    let row = run_attributed_row(&study, &searched.os, cfg, &sim, args.threads, &registry);
+    println!("Attributed replay, miss rate % (8KB direct-mapped, app side Base):");
+    let mut table = TextTable::new(["Workload", "Base", "C-H", "OptS", "OptL", "Search"]);
+    let mut beats = 0usize;
+    for (c, case) in study.cases().iter().enumerate() {
+        let mut cells = vec![case.name().to_owned()];
+        let mut fields = Vec::new();
+        for (k, kind) in kinds.iter().enumerate() {
+            let r = &matrix[c][k].0;
+            cells.push(format!("{:.3}", r.miss_rate() * 100.0));
+            fields.push((kind.name().to_lowercase().replace('-', "_"), r.miss_rate()));
+        }
+        let (search_result, _) = &row[c];
+        cells.push(format!("{:.3}", search_result.miss_rate() * 100.0));
+        fields.push(("search".to_owned(), search_result.miss_rate()));
+        let opts = &matrix[c][2].0;
+        if search_result.stats.total_misses() <= opts.stats.total_misses() {
+            beats += 1;
+        }
+        reporter.add_section(&format!("search.replay.{}", case.name()), fields);
+        table.row(cells);
+    }
+    print!("{}", table.render());
+    println!(
+        "search vs OptS (attributed replay): better-or-equal on {}/{} workloads",
+        beats,
+        study.cases().len()
+    );
+    reporter.add_section("search.acceptance", [("beats_or_ties_opt_s", beats as f64)]);
+
+    if let Some(path) = &layout_out {
+        let view = &searched.candidates[chosen];
+        let fmt_list = |it: &mut dyn Iterator<Item = String>| it.collect::<Vec<_>>().join(", ");
+        let json = format!(
+            "{{\n  \"name\": \"{}\",\n  \"addr\": [{}],\n  \"size\": [{}]\n}}\n",
+            view.name,
+            fmt_list(&mut view.addr.iter().map(u64::to_string)),
+            fmt_list(&mut view.size.iter().map(u32::to_string)),
+        );
+        std::fs::write(path, json).expect("write --layout-out file");
+        eprintln!("search layout written: {}", path.display());
+    }
+    let path = reporter.finish();
+    println!("Run report: {}", path.display());
+}

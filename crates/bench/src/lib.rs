@@ -819,6 +819,190 @@ pub fn run_attributed_matrix(
     results
 }
 
+/// Materializes a searched [`LayoutView`](oslay_verify::LayoutView) back
+/// into a placed [`OsLayout`] via `Layout::assemble`.
+///
+/// The searched layout has no class map or SelfConfFree area — like the
+/// Base and Chang–Hwu kinds, it is verified structurally only.
+///
+/// # Panics
+///
+/// Panics if the view does not re-assemble (the search's admission gate
+/// guarantees it does) or fails structural verification.
+#[must_use]
+pub fn searched_os_layout(study: &Study, view: &oslay_verify::LayoutView) -> OsLayout {
+    let program = &study.kernel().program;
+    let layout = Layout::assemble(program, view.name.clone(), &view.addr, &view.size)
+        .expect("searched view re-assembles into a layout");
+    let report = oslay_verify::verify_structural(program, view);
+    assert!(
+        report.is_clean(),
+        "searched layout lints dirty: {:?}",
+        report.diagnostics().first()
+    );
+    OsLayout {
+        layout,
+        classes: None,
+        scf_bytes: 0,
+    }
+}
+
+/// How the search winner was chosen among the seed and every restart's
+/// best: fast-replay misses per candidate per workload, ranked against
+/// the seed (= OptS) baseline.
+#[derive(Clone, Debug)]
+pub struct SearchSelection {
+    /// Total misses, `[candidate][case]` (candidate 0 is the seed).
+    pub misses: Vec<Vec<u64>>,
+    /// Per candidate: number of workloads with more misses than the seed.
+    pub worse_cases: Vec<usize>,
+    /// The chosen candidate index.
+    pub chosen: usize,
+}
+
+/// Replays every candidate view on every workload (app side Base, like
+/// the attributed matrices) and picks the winner among the *feasible*
+/// candidates — those no worse than the seed on more than half the
+/// workloads — by fewest total misses, then fewest worse-than-seed
+/// workloads, then lowest objective, then lowest index. Candidate 0
+/// must be the seed view; it is always feasible (zero worse
+/// workloads), so a chosen candidate always matches or beats the seed
+/// on at least half the workloads, and never has more total misses.
+///
+/// Deterministic at any `threads` (ordered [`oslay::exec::parallel_map`]
+/// fan-out, pure integer ranking).
+#[must_use]
+pub fn select_search_winner(
+    study: &Study,
+    candidates: &[oslay_verify::LayoutView],
+    objectives: &[u64],
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> SearchSelection {
+    assert_eq!(candidates.len(), objectives.len());
+    let layouts: Vec<OsLayout> = candidates
+        .iter()
+        .map(|v| searched_os_layout(study, v))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..candidates.len())
+        .flat_map(|k| (0..study.cases().len()).map(move |c| (k, c)))
+        .collect();
+    let flat = oslay::exec::parallel_map(threads, jobs, |_, (k, c)| {
+        let case = &study.cases()[c];
+        let app = app_layout_for(study, case, AppSide::Base, cache_cfg.size());
+        let mut cache = Cache::new(cache_cfg);
+        study
+            .simulate(case, &layouts[k].layout, app.as_ref(), &mut cache, sim)
+            .stats
+            .total_misses()
+    });
+    let cases = study.cases().len();
+    let misses: Vec<Vec<u64>> = flat.chunks(cases).map(<[u64]>::to_vec).collect();
+    let worse_cases: Vec<usize> = misses
+        .iter()
+        .map(|row| row.iter().zip(&misses[0]).filter(|(m, b)| m > b).count())
+        .collect();
+    let chosen = (0..misses.len())
+        .filter(|&k| worse_cases[k] * 2 <= cases)
+        .min_by_key(|&k| {
+            (
+                misses[k].iter().sum::<u64>(),
+                worse_cases[k],
+                objectives[k],
+                k,
+            )
+        })
+        .expect("the seed candidate is always feasible");
+    SearchSelection {
+        misses,
+        worse_cases,
+        chosen,
+    }
+}
+
+/// A completed layout search, validated and materialized: what the
+/// `search` binary reports and `fig18_alternatives` folds in as a
+/// column.
+#[derive(Debug)]
+pub struct SearchedLayout {
+    /// The raw fan-out result.
+    pub outcome: oslay_search::SearchOutcome,
+    /// Candidate views in ranking order: seed first, then each restart's
+    /// best.
+    pub candidates: Vec<oslay_verify::LayoutView>,
+    /// How the winner was chosen.
+    pub selection: SearchSelection,
+    /// The chosen layout, materialized.
+    pub os: OsLayout,
+}
+
+/// Runs the full search pipeline: fan out restarts from the OptS seed,
+/// then pick the winner by fast replay against the seed baseline (see
+/// [`select_search_winner`]). Deterministic at any `threads`.
+#[must_use]
+pub fn run_layout_search(
+    study: &Study,
+    cache_cfg: CacheConfig,
+    params: &oslay_search::SearchParams,
+    sim: &SimConfig,
+    threads: usize,
+) -> SearchedLayout {
+    let program = &study.kernel().program;
+    let profile = study.averaged_os_profile();
+    let seed = oslay_verify::LayoutView::from_layout(
+        &study.os_layout(OsLayoutKind::OptS, cache_cfg.size()).layout,
+    );
+    let outcome = oslay_search::run_search(program, profile, &seed, &cache_cfg, params, threads);
+    let mut candidates = vec![oslay_verify::LayoutView {
+        name: "Search".to_owned(),
+        ..seed
+    }];
+    let mut objectives = vec![outcome.initial];
+    for r in &outcome.restarts {
+        candidates.push(r.view.clone());
+        objectives.push(r.best);
+    }
+    let selection = select_search_winner(study, &candidates, &objectives, cache_cfg, sim, threads);
+    let os = searched_os_layout(study, &candidates[selection.chosen]);
+    SearchedLayout {
+        outcome,
+        candidates,
+        selection,
+        os,
+    }
+}
+
+/// Attributed replay of one explicit OS layout across every workload
+/// (app side Base), sharded like [`run_attributed_matrix`] — used to
+/// rank a searched layout against the named kinds.
+#[must_use]
+pub fn run_attributed_row(
+    study: &Study,
+    os: &OsLayout,
+    cache_cfg: CacheConfig,
+    sim: &SimConfig,
+    threads: usize,
+    registry: &Arc<MetricRegistry>,
+) -> Vec<(SimResult, AttributionReport)> {
+    let jobs: Vec<usize> = (0..study.cases().len()).collect();
+    let group = timeline::group();
+    let sharded = oslay::exec::parallel_map(threads, jobs, |i, c| {
+        let case = &study.cases()[c];
+        let _t = timeline::scope(group, i as u64, format!("{}/Search", case.name()));
+        let app = app_layout_for(study, case, AppSide::Base, cache_cfg.size());
+        let shard = Arc::new(MetricRegistry::new());
+        let r = run_attributed_on(study, case, os, app.as_ref(), cache_cfg, sim, Some(&shard));
+        (r, shard)
+    });
+    let mut out = Vec::with_capacity(sharded.len());
+    for (r, shard) in sharded {
+        registry.merge_from(&shard);
+        out.push(r);
+    }
+    out
+}
+
 /// JSON run-report plumbing shared by the experiment binaries.
 ///
 /// Owns the [`MetricRegistry`] that probed caches feed

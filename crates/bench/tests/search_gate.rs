@@ -1,0 +1,103 @@
+//! Gate for the layout-search pipeline ([`run_layout_search`]): the
+//! replay-ranked winner must honor the selection guarantees the `search`
+//! binary and `fig18_alternatives` rely on — never more total misses
+//! than the OptS seed, no worse than the seed on more than half the
+//! workloads, structurally clean, and byte-identical at any worker
+//! count.
+
+use oslay::cache::{Cache, CacheConfig};
+use oslay::{OsLayoutKind, SimConfig, Study, StudyConfig};
+use oslay_bench::run_layout_search;
+use oslay_search::SearchParams;
+
+fn study() -> Study {
+    Study::generate(&StudyConfig::tiny())
+}
+
+fn params() -> SearchParams {
+    SearchParams {
+        budget: 3_000,
+        restarts: 2,
+        ..SearchParams::default()
+    }
+}
+
+#[test]
+fn winner_matches_or_beats_the_seed_and_lints_clean() {
+    let study = study();
+    let cfg = CacheConfig::paper_default();
+    let searched = run_layout_search(&study, cfg, &params(), &SimConfig::fast(), 2);
+
+    let cases = study.cases().len();
+    let sel = &searched.selection;
+    assert_eq!(sel.misses.len(), searched.candidates.len());
+    assert_eq!(sel.worse_cases[0], 0, "the seed is its own baseline");
+
+    // The selection contract: never more total misses than the seed,
+    // and better-or-equal on at least half the workloads.
+    let seed_total: u64 = sel.misses[0].iter().sum();
+    let chosen_total: u64 = sel.misses[sel.chosen].iter().sum();
+    assert!(chosen_total <= seed_total, "{chosen_total} > {seed_total}");
+    assert!(sel.worse_cases[sel.chosen] * 2 <= cases);
+
+    // The materialized winner lints clean and replays to exactly the
+    // miss counts the selection ranked it by.
+    let program = &study.kernel().program;
+    let view = &searched.candidates[sel.chosen];
+    assert!(oslay_verify::verify_structural(program, view).is_clean());
+    for (c, case) in study.cases().iter().enumerate() {
+        let app = study.app_base_layout(case);
+        let mut cache = Cache::new(cfg);
+        let r = study.simulate(
+            case,
+            &searched.os.layout,
+            app.as_ref(),
+            &mut cache,
+            &SimConfig::fast(),
+        );
+        assert_eq!(r.stats.total_misses(), sel.misses[sel.chosen][c]);
+    }
+}
+
+#[test]
+fn seed_misses_equal_a_direct_opt_s_replay() {
+    let study = study();
+    let cfg = CacheConfig::paper_default();
+    let searched = run_layout_search(&study, cfg, &params(), &SimConfig::fast(), 1);
+    let opts = study.os_layout(OsLayoutKind::OptS, cfg.size());
+    for (c, case) in study.cases().iter().enumerate() {
+        let app = study.app_base_layout(case);
+        let mut cache = Cache::new(cfg);
+        let r = study.simulate(
+            case,
+            &opts.layout,
+            app.as_ref(),
+            &mut cache,
+            &SimConfig::fast(),
+        );
+        assert_eq!(
+            r.stats.total_misses(),
+            searched.selection.misses[0][c],
+            "candidate 0 must be the untouched OptS seed (case {c})"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_thread_invariant() {
+    let study = study();
+    let cfg = CacheConfig::paper_default();
+    let a = run_layout_search(&study, cfg, &params(), &SimConfig::fast(), 1);
+    let b = run_layout_search(&study, cfg, &params(), &SimConfig::fast(), 3);
+    assert_eq!(a.outcome.winner, b.outcome.winner);
+    assert_eq!(a.selection.chosen, b.selection.chosen);
+    assert_eq!(a.selection.misses, b.selection.misses);
+    for i in 0..a.os.layout.num_blocks() {
+        let block = oslay::model::BlockId::new(i);
+        assert_eq!(a.os.layout.addr(block), b.os.layout.addr(block));
+        assert_eq!(
+            a.os.layout.effective_size(block),
+            b.os.layout.effective_size(block)
+        );
+    }
+}

@@ -20,6 +20,12 @@ pub enum LayoutError {
         /// Second block.
         b: BlockId,
     },
+    /// An assembled block's effective size is not its block size plus a
+    /// valid stretch (zero or one escape-branch word).
+    BadSpan(BlockId),
+    /// An assembled block claims fall-through adjacency (zero stretch)
+    /// but its fall-through successor is placed elsewhere.
+    MissingStretch(BlockId),
 }
 
 impl fmt::Display for LayoutError {
@@ -27,6 +33,13 @@ impl fmt::Display for LayoutError {
         match self {
             LayoutError::Unplaced(b) => write!(f, "block {b} was never placed"),
             LayoutError::Overlap { a, b } => write!(f, "blocks {a} and {b} overlap"),
+            LayoutError::BadSpan(b) => {
+                write!(f, "block {b} has an invalid effective size")
+            }
+            LayoutError::MissingStretch(b) => write!(
+                f,
+                "block {b} has no escape branch but its fall-through is not adjacent"
+            ),
         }
     }
 }
@@ -127,6 +140,87 @@ impl Layout {
     #[must_use]
     pub fn static_bytes(&self) -> u64 {
         self.bytes.iter().map(|&b| u64::from(b)).sum()
+    }
+
+    /// Materializes a layout from an explicit per-block address map —
+    /// the way a searched `LayoutView` becomes a placed, simulatable
+    /// layout again.
+    ///
+    /// [`LayoutBuilder`] charges stretch *online* while placing; an
+    /// address map produced by mutating a finished layout already carries
+    /// its stretch inside each effective size, so this constructor
+    /// validates the accounting instead of re-deriving it. For every
+    /// block, `bytes[i]` must equal the block's size plus a stretch of
+    /// zero or one escape-branch word ([`WORD_BYTES`]), and a block with
+    /// a fall-through successor must either pay the stretch word or have
+    /// that successor placed exactly at its end. Mutations that move
+    /// whole fall-through-glued runs (the search engine's atoms) preserve
+    /// this by construction; anything else is rejected rather than
+    /// silently mis-costed.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::BadSpan`] for an invalid effective size,
+    /// [`LayoutError::MissingStretch`] for a broken unstretch'd
+    /// fall-through, [`LayoutError::Overlap`] for intersecting spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the program's block
+    /// count.
+    pub fn assemble(
+        program: &Program,
+        name: impl Into<String>,
+        addr: &[u64],
+        bytes: &[u32],
+    ) -> Result<Layout, LayoutError> {
+        let n = program.num_blocks();
+        assert_eq!(addr.len(), n, "one address per block");
+        assert_eq!(bytes.len(), n, "one effective size per block");
+
+        let mut words = vec![0u32; n];
+        let mut stretch = vec![0u32; n];
+        for (id, block) in program.blocks() {
+            let i = id.index();
+            let s = bytes[i]
+                .checked_sub(block.size())
+                .ok_or(LayoutError::BadSpan(id))?;
+            if s != 0 && s != WORD_BYTES {
+                return Err(LayoutError::BadSpan(id));
+            }
+            if s == 0 {
+                if let Some(ft) = block.fallthrough() {
+                    if addr[ft.index()] != addr[i] + u64::from(block.size()) {
+                        return Err(LayoutError::MissingStretch(id));
+                    }
+                }
+            }
+            stretch[i] = s;
+            words[i] = fetch_words(bytes[i]);
+        }
+
+        let mut by_addr: Vec<BlockId> = (0..n).map(BlockId::new).collect();
+        by_addr.sort_by_key(|b| addr[b.index()]);
+        for pair in by_addr.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let end_a = addr[a.index()] + u64::from(bytes[a.index()]);
+            if end_a > addr[b.index()] {
+                return Err(LayoutError::Overlap { a, b });
+            }
+        }
+        let span_end = by_addr
+            .last()
+            .map(|&b| addr[b.index()] + u64::from(bytes[b.index()]))
+            .unwrap_or(0);
+
+        Ok(Layout {
+            name: name.into(),
+            addr: addr.to_vec(),
+            bytes: bytes.to_vec(),
+            words,
+            stretch,
+            span_end,
+        })
     }
 }
 
@@ -438,6 +532,70 @@ mod tests {
         let mut lb = LayoutBuilder::new(&p, "t", 0);
         lb.place(blocks[0]);
         lb.place(blocks[0]);
+    }
+
+    /// Round-trips a finished layout through its raw address map.
+    fn reassemble(p: &Program, l: &Layout) -> Result<Layout, LayoutError> {
+        let n = l.num_blocks();
+        let addr: Vec<u64> = (0..n).map(|i| l.addr(BlockId::new(i))).collect();
+        let bytes: Vec<u32> = (0..n).map(|i| l.effective_size(BlockId::new(i))).collect();
+        Layout::assemble(p, l.name(), &addr, &bytes)
+    }
+
+    #[test]
+    fn assemble_round_trips_builder_layouts() {
+        let (p, blocks) = chain_program();
+        // A stretched layout exercises both stretch cases.
+        let mut lb = LayoutBuilder::new(&p, "t", 0);
+        lb.place(blocks[1]);
+        lb.place(blocks[0]);
+        lb.place(blocks[2]);
+        let l = lb.finish().unwrap();
+        let r = reassemble(&p, &l).expect("honest address map assembles");
+        assert_eq!(r, l, "assemble reproduces the builder's layout exactly");
+    }
+
+    #[test]
+    fn assemble_rejects_broken_fallthrough_adjacency() {
+        let (p, blocks) = chain_program();
+        let mut lb = LayoutBuilder::new(&p, "t", 0);
+        for &b in &blocks {
+            lb.place(b);
+        }
+        let l = lb.finish().unwrap();
+        let n = l.num_blocks();
+        let mut addr: Vec<u64> = (0..n).map(|i| l.addr(BlockId::new(i))).collect();
+        let bytes: Vec<u32> = (0..n).map(|i| l.effective_size(BlockId::new(i))).collect();
+        // Move y away from x's end without charging x a stretch word.
+        addr[blocks[1].index()] = 1000;
+        assert_eq!(
+            Layout::assemble(&p, "t", &addr, &bytes).unwrap_err(),
+            LayoutError::MissingStretch(blocks[0])
+        );
+    }
+
+    #[test]
+    fn assemble_rejects_bad_spans_and_overlaps() {
+        let (p, blocks) = chain_program();
+        let mut lb = LayoutBuilder::new(&p, "t", 0);
+        for &b in &blocks {
+            lb.place(b);
+        }
+        let l = lb.finish().unwrap();
+        let n = l.num_blocks();
+        let addr: Vec<u64> = (0..n).map(|i| l.addr(BlockId::new(i))).collect();
+        let mut bytes: Vec<u32> = (0..n).map(|i| l.effective_size(BlockId::new(i))).collect();
+        bytes[blocks[2].index()] += 1; // not a whole stretch word
+        assert_eq!(
+            Layout::assemble(&p, "t", &addr, &bytes).unwrap_err(),
+            LayoutError::BadSpan(blocks[2])
+        );
+        let bad_addr = vec![0u64, 4, 100];
+        let sizes: Vec<u32> = (0..n).map(|i| l.effective_size(BlockId::new(i))).collect();
+        assert!(matches!(
+            Layout::assemble(&p, "t", &bad_addr, &sizes).unwrap_err(),
+            LayoutError::Overlap { .. } | LayoutError::MissingStretch(_)
+        ));
     }
 
     #[test]

@@ -156,12 +156,30 @@ pub const MIN_TRACE_COMPRESSION_RATIO: f64 = 3.0;
 /// regression of the single-pass engine.
 pub const MIN_SWEEP_SPEEDUP: f64 = 4.0;
 
+/// The minimum acceptable layout-search inner-loop rate, in incremental
+/// objective evaluations per second, gated against the `search_score`
+/// case when a report carries one. The incremental scorer touches only
+/// the moved atom's lines and incident arcs, so even modest hardware
+/// sustains hundreds of thousands of evaluations/sec; the floor sits
+/// orders of magnitude below that and trips only on an algorithmic
+/// regression (e.g. a full-layout rescore sneaking into the loop).
+pub const MIN_SEARCH_SCORE_EVALS_PER_SEC: f64 = 5_000.0;
+
+/// The minimum acceptable end-to-end layout-search rate, in proposed
+/// candidates per second, gated against the `search_walk` case when
+/// present. The ISSUE-level claim is "thousands of candidates per
+/// second"; the floor encodes exactly that, with headroom for loaded
+/// CI machines.
+pub const MIN_SEARCH_WALK_CANDIDATES_PER_SEC: f64 = 2_000.0;
+
 /// Validates serialized `BENCH_sim.json` text: it must parse as a
 /// [`RunReport`] and carry at least one `bench.*` case section whose
 /// `events_per_sec` field is strictly positive. When the derived section
 /// records a `trace_compression_ratio`, it must meet
 /// [`MIN_TRACE_COMPRESSION_RATIO`]; a recorded `sweep_speedup` must
-/// meet [`MIN_SWEEP_SPEEDUP`].
+/// meet [`MIN_SWEEP_SPEEDUP`]. A report that measures the layout-search
+/// cases must clear [`MIN_SEARCH_SCORE_EVALS_PER_SEC`] and
+/// [`MIN_SEARCH_WALK_CANDIDATES_PER_SEC`].
 ///
 /// # Errors
 ///
@@ -197,6 +215,18 @@ pub fn validate(text: &str) -> Result<(), String> {
             return Err(format!(
                 "sweep_speedup {ratio:.2} below the {MIN_SWEEP_SPEEDUP}x floor"
             ));
+        }
+    }
+    for (case, floor) in [
+        ("bench.search_score", MIN_SEARCH_SCORE_EVALS_PER_SEC),
+        ("bench.search_walk", MIN_SEARCH_WALK_CANDIDATES_PER_SEC),
+    ] {
+        if let Some(rate) = report.section_field(case, "events_per_sec") {
+            if rate < floor {
+                return Err(format!(
+                    "{case} rate {rate:.0}/s below the {floor:.0}/s floor"
+                ));
+            }
         }
     }
     Ok(())
@@ -282,5 +312,34 @@ mod tests {
         assert!(err.contains("sweep_speedup"), "{err}");
         let r = sample();
         validate(&r.to_json()).expect("absent speedup field is not gated");
+    }
+
+    #[test]
+    fn validate_gates_search_case_rates() {
+        let search_case = |name: &str, events: u64| BenchCase {
+            name: name.to_owned(),
+            events,
+            secs: 1.0,
+            allocs: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+        };
+        let mut r = sample();
+        r.push_case(search_case("search_score", 400_000));
+        r.push_case(search_case("search_walk", 150_000));
+        validate(&r.to_json()).expect("rates above the floors pass");
+
+        let mut r = sample();
+        r.push_case(search_case("search_score", 1_000));
+        let err = validate(&r.to_json()).expect_err("slow scorer fails");
+        assert!(err.contains("search_score"), "{err}");
+
+        let mut r = sample();
+        r.push_case(search_case("search_walk", 500));
+        let err = validate(&r.to_json()).expect_err("slow walk fails");
+        assert!(err.contains("search_walk"), "{err}");
+
+        let r = sample();
+        validate(&r.to_json()).expect("absent search cases are not gated");
     }
 }

@@ -1,0 +1,131 @@
+//! Atom decomposition: the search's unit of motion.
+//!
+//! An *atom* is a maximal run of blocks glued by placed fall-through
+//! adjacency: block `p` is glued to the next block `b` when `b` is
+//! `p`'s fall-through target, `p` carries no escape-branch stretch, and
+//! `b` sits exactly at `p`'s end. The layout builder's stretch honesty
+//! rule (a block either pays one escape-branch word or has its
+//! fall-through adjacent) means moving whole atoms — never splitting
+//! them — preserves that accounting: a searched view re-materializes
+//! into a real `Layout` with the same per-block effective sizes. Atoms
+//! are this codebase's equivalent of ext-TSP *chains*: the units basic
+//! block reordering permutes without paying new branch bytes.
+
+use oslay_model::Program;
+use oslay_profile::Profile;
+use oslay_verify::LayoutView;
+
+/// The atom decomposition of a seed view (CSR over block indices, in
+/// placement order inside each atom).
+#[derive(Clone, Debug)]
+pub struct Atoms {
+    /// Offsets into [`Atoms::members`] per atom (length `count + 1`).
+    pub first: Vec<u32>,
+    /// Block indices, grouped by atom in placement order.
+    pub members: Vec<u32>,
+    /// Current start address per atom (mutated by the search).
+    pub start: Vec<u64>,
+    /// Total effective byte length per atom (constant).
+    pub len: Vec<u64>,
+    /// Total profile node weight per atom (constant).
+    pub weight: Vec<u64>,
+    /// Per-block offset from its atom's start (constant).
+    pub rel: Vec<u64>,
+    /// Per-block owning atom (constant).
+    pub atom_of: Vec<u32>,
+}
+
+impl Atoms {
+    /// Number of atoms.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Block indices of one atom, in placement order.
+    #[must_use]
+    pub fn blocks(&self, atom: usize) -> &[u32] {
+        &self.members[self.first[atom] as usize..self.first[atom + 1] as usize]
+    }
+
+    /// Decomposes a seed view into maximal glued runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed view violates the builder's stretch honesty
+    /// rule (a zero-stretch block whose fall-through is not adjacent, or
+    /// a stretch other than zero or one word) — such a view could not
+    /// have come from `LayoutBuilder` and could not be re-assembled.
+    #[must_use]
+    pub fn decompose(program: &Program, profile: &Profile, view: &LayoutView) -> Self {
+        use oslay_model::{BlockId, WORD_BYTES};
+
+        let n = view.num_blocks();
+        assert_eq!(
+            n,
+            program.num_blocks(),
+            "view and program disagree on block count"
+        );
+        let order = view.by_addr();
+        let mut this = Self {
+            first: vec![0],
+            members: Vec::with_capacity(n),
+            start: Vec::new(),
+            len: Vec::new(),
+            weight: Vec::new(),
+            rel: vec![0; n],
+            atom_of: vec![0; n],
+        };
+        let mut i = 0;
+        while i < order.len() {
+            let atom = this.start.len() as u32;
+            let start = view.addr[order[i]];
+            let (mut len, mut weight) = (0u64, 0u64);
+            loop {
+                let b = order[i];
+                this.atom_of[b] = atom;
+                this.rel[b] = view.addr[b] - start;
+                this.members.push(b as u32);
+                len += u64::from(view.size[b]);
+                weight += profile.node_weight(BlockId::new(b));
+                let block = program.block(BlockId::new(b));
+                let stretch = view.size[b] - block.size();
+                assert!(
+                    stretch == 0 || stretch == WORD_BYTES,
+                    "seed block {b} has stretch {stretch}"
+                );
+                let glued_next = match block.fallthrough() {
+                    Some(ft) if stretch == 0 => {
+                        let next = order.get(i + 1).copied();
+                        assert_eq!(
+                            next.filter(|&x| {
+                                view.addr[x] == view.addr[b] + u64::from(block.size())
+                            }),
+                            Some(ft.index()),
+                            "seed block {b} has no escape branch but its fall-through \
+                             is not adjacent"
+                        );
+                        true
+                    }
+                    _ => false,
+                };
+                i += 1;
+                if !glued_next {
+                    break;
+                }
+            }
+            this.start.push(start);
+            this.len.push(len);
+            this.weight.push(weight);
+            this.first.push(this.members.len() as u32);
+        }
+        this
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end (decomposition round-trip, honesty panics)
+    // in tests/search.rs against real study programs; no synthetic
+    // Program builder is duplicated here.
+}

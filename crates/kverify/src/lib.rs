@@ -17,6 +17,10 @@
 //!   profile weights folded over the address map, cross-validated against
 //!   the measured [`ConflictMatrix`](oslay_cache::ConflictMatrix) via
 //!   [`ranking_overlap`].
+//! * [`IncrementalPressure`] — the same per-set pressure model with
+//!   exact constant-ish-time span add/remove, so a mutation-based layout
+//!   search (`oslay-search`) can re-score only the sets a candidate
+//!   touches.
 //!
 //! The `lint` binary (in `oslay-bench`) fronts both halves with an
 //! exit-code contract; the experiment drivers run [`verify_os_layout`] on
@@ -28,11 +32,13 @@
 #![warn(missing_debug_implementations)]
 
 mod diagnostic;
+mod incremental;
 mod invariants;
 mod predict;
 mod view;
 
 pub use diagnostic::{DiagCode, Diagnostic, Severity, VerifyReport};
+pub use incremental::IncrementalPressure;
 pub use invariants::{verify, verify_structural, OptContext, VerifyInput};
 pub use predict::{
     measured_pair_ranking, predict_conflicts, predict_from_spans, ranking_overlap, weighted_spans,
