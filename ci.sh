@@ -8,7 +8,13 @@ echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== cargo clippy (all targets, warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+# Three pedantic lints are promoted to hard errors on top of the default
+# set: missing #[must_use], by-value arguments that should borrow, and
+# expression-statement tails missing their semicolon.
+cargo clippy --workspace --all-targets -- -D warnings \
+  -D clippy::must_use_candidate \
+  -D clippy::needless_pass_by_value \
+  -D clippy::semicolon_if_nothing_returned
 
 echo "== cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
@@ -295,6 +301,40 @@ if cargo run --release -q -p oslay-bench --bin search -- \
   exit 1
 fi
 grep -q -- "--budget needs a value" "$tmpdir/err2.txt"
+rm -rf "$tmpdir"
+
+echo "== absint gate: static classes replay-sound, mutations detected =="
+tmpdir="$(mktemp -d)"
+repo_root="$PWD"
+# The soundness gate must hold on every layout (including the searched
+# one): zero measured misses on always-hit lines, at most one per
+# persistent line, across all four workloads.
+(
+  cd "$tmpdir"
+  mkdir -p results
+  cargo run --release -q --manifest-path "$repo_root/Cargo.toml" \
+    -p oslay-bench --bin analyze -- \
+    --scale tiny --layout all --search-budget 2000 --gate \
+    --class-out classes.json > gate.txt
+)
+grep -q "soundness gate: PASS" "$tmpdir/gate.txt"
+# A block swap into the most contended set must withdraw at least one
+# always-hit guarantee — otherwise the analysis is not actually looking
+# at the layout.
+cargo run --release -q -p oslay-bench --bin analyze -- \
+  --scale tiny --layout opts --mutate block-swap > "$tmpdir/mutate.txt"
+grep -q "always-hit guarantee(s) withdrawn" "$tmpdir/mutate.txt"
+# The exported classification round-trips through --check...
+cargo run --release -q -p oslay-bench --bin analyze -- \
+  --check "$tmpdir/classes.json" > /dev/null
+# ...and a corrupted tally must be rejected with exit 1.
+sed -E 's/"count":\[[0-9]+/"count":[999999/' "$tmpdir/classes.json" \
+  > "$tmpdir/broken.json"
+if cargo run --release -q -p oslay-bench --bin analyze -- \
+    --check "$tmpdir/broken.json" > /dev/null 2>&1; then
+  echo "analyze --check accepted a corrupted classification" >&2
+  exit 1
+fi
 rm -rf "$tmpdir"
 
 echo "CI OK"

@@ -32,6 +32,9 @@
 //! - `search_walk`: the end-to-end `run_search` fan-out (propose, gate,
 //!   score, anneal, restart bookkeeping); `events` counts proposed
 //!   candidates, so the rate is candidates/sec. Also floor-gated.
+//! - `absint_classify`: the abstract-interpretation cache classifier
+//!   over the OptS layout (fixpoint + classification walk); `events`
+//!   counts classified line access points. Also floor-gated.
 //!
 //! The counting allocator is installed process-wide, so `allocs` /
 //! `peak_bytes` columns are real measurements, not estimates.
@@ -384,6 +387,16 @@ fn main() {
             oslay_search::run_search(program, profile, &seed_view, &cfg, &params, args.threads);
         outcome.restarts.iter().map(|r| r.stats.proposed).sum()
     }));
+    // The abstract-interpretation classifier: one full must/may/
+    // persistence fixpoint plus the classification walk over OptS.
+    // `events` counts classified line access points, so the rate is
+    // points/sec — floor-gated by the simbench validator.
+    report.push_case(measure("absint_classify", || {
+        let c = oslay_bench::absint_gate::classify_study_layout(&study, &seed_view, cfg);
+        assert_eq!(c.invariant_violations, 0, "absint lattice violated");
+        c.points.len() as u64
+    }));
+
     report.push_derived(
         "stream_vs_replay_base",
         report.events_per_sec("stream_base").unwrap_or(0.0)

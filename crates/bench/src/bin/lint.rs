@@ -19,7 +19,14 @@
 //!                               # this to prove the checker fires)
 //!      [--predict] [--top K]    # also print the static conflict
 //!                               # prediction for the OS layouts
+//!      [--absint]               # also run the abstract-interpretation
+//!                               # classification on every OS layout
 //! ```
+//!
+//! External layouts (`--layout-file`) always get the full static
+//! treatment: structural invariants, the conflict prediction, *and* the
+//! abstract-interpretation classification — they come from outside the
+//! builders, so nothing else has vetted them.
 
 use std::collections::VecDeque;
 use std::process::ExitCode;
@@ -42,6 +49,7 @@ struct LintArgs {
     deny_warnings: bool,
     mutate: Option<String>,
     predict: bool,
+    absint: bool,
     top: usize,
 }
 
@@ -54,6 +62,7 @@ fn parse_args() -> LintArgs {
     let mut deny_warnings = false;
     let mut mutate: Option<String> = None;
     let mut predict = false;
+    let mut absint = false;
     let mut top = 10usize;
     let argv: VecDeque<String> = std::env::args().skip(1).collect();
     let args = parse_run_args(argv, StudyConfig::small(), |arg, rest| match arg {
@@ -98,6 +107,10 @@ fn parse_args() -> LintArgs {
             predict = true;
             true
         }
+        "--absint" => {
+            absint = true;
+            true
+        }
         "--top" => {
             let v = rest.pop_front().expect("--top needs a value");
             top = v.parse().expect("--top must be an integer");
@@ -119,6 +132,7 @@ fn parse_args() -> LintArgs {
         deny_warnings,
         mutate,
         predict,
+        absint,
         top,
     }
 }
@@ -303,6 +317,31 @@ fn print_prediction(study: &Study, name: &str, view: &LayoutView, top: usize) {
     }
 }
 
+/// Runs the abstract-interpretation classification on one OS layout view
+/// and prints the one-line summary. Returns `true` when the lattice
+/// invariants were violated (a checker bug, never a layout property).
+fn print_absint(study: &Study, view: &LayoutView, cfg: CacheConfig) -> bool {
+    let c = oslay_bench::absint_gate::classify_study_layout(study, view, cfg);
+    println!("-- absint classification: {} --", view.name);
+    println!(
+        "  always-hit {:>5.1}%  persistent {:>5.1}%  always-miss {:>5.1}%  \
+         unclassified {:>5.1}%  coverage {:>5.1}%",
+        100.0 * c.weighted_share(oslay_verify::LineClass::AlwaysHit),
+        100.0 * c.weighted_share(oslay_verify::LineClass::Persistent),
+        100.0 * c.weighted_share(oslay_verify::LineClass::AlwaysMiss),
+        100.0 * c.weighted_share(oslay_verify::LineClass::Unclassified),
+        100.0 * c.coverage(),
+    );
+    if c.invariant_violations > 0 {
+        eprintln!(
+            "lint: {}: {} absint lattice violation(s)",
+            view.name, c.invariant_violations
+        );
+        return true;
+    }
+    false
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let study = Study::generate(&args.config);
@@ -312,6 +351,8 @@ fn main() -> ExitCode {
     let line = cache_cfg.line();
 
     let mut reports: Vec<VerifyReport> = Vec::new();
+    // OS-layout views the optional absint pass runs over.
+    let mut os_views: Vec<LayoutView> = Vec::new();
 
     if let Some(mutation) = &args.mutate {
         // Mutation mode: corrupt the OptL layout and verify only it.
@@ -331,18 +372,16 @@ fn main() -> ExitCode {
             match which.as_str() {
                 "base" => {
                     let layout = oslay_layout::base_layout(program, 0);
-                    reports.push(verify_structural(
-                        program,
-                        &LayoutView::from_layout(&layout),
-                    ));
+                    let view = LayoutView::from_layout(&layout);
+                    reports.push(verify_structural(program, &view));
+                    os_views.push(view);
                 }
                 "ch" => {
                     let layout =
                         oslay_layout::chang_hwu_layout(program, study.averaged_os_profile(), 0);
-                    reports.push(verify_structural(
-                        program,
-                        &LayoutView::from_layout(&layout),
-                    ));
+                    let view = LayoutView::from_layout(&layout);
+                    reports.push(verify_structural(program, &view));
+                    os_views.push(view);
                 }
                 "opts" | "optl" => {
                     let params = if which == "optl" {
@@ -361,6 +400,7 @@ fn main() -> ExitCode {
                     if args.predict {
                         print_prediction(&study, &view.name.clone(), &view, args.top);
                     }
+                    os_views.push(view);
                 }
                 "call" => {
                     // Per-loop logical caches deliberately reuse SCF
@@ -372,10 +412,9 @@ fn main() -> ExitCode {
                         study.os_loops(),
                         &oslay_layout::CallOptParams::new(cache_size),
                     );
-                    reports.push(verify_structural(
-                        program,
-                        &LayoutView::from_layout(&opt.layout),
-                    ));
+                    let view = LayoutView::from_layout(&opt.layout);
+                    reports.push(verify_structural(program, &view));
+                    os_views.push(view);
                 }
                 "opta" => {
                     // The application half of OptA, per workload that has
@@ -419,8 +458,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            if args.predict {
-                print_prediction(&study, &view.name.clone(), &view, args.top);
+            // External layouts always get the full static treatment —
+            // nothing else has vetted them.
+            print_prediction(&study, &view.name.clone(), &view, args.top);
+            if print_absint(&study, &view, cache_cfg) {
+                oslay_bench::flush_trace();
+                return ExitCode::FAILURE;
             }
         }
         if args.predict && args.layouts.iter().any(|l| l == "base") {
@@ -430,6 +473,11 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    if args.absint {
+        for view in &os_views {
+            failed |= print_absint(&study, view, cache_cfg);
+        }
+    }
     for report in &reports {
         print_report(report, args.json);
         failed |= report.fails(args.deny_warnings);

@@ -15,6 +15,9 @@
 //! --restarts N       independent restarts (default 6)
 //! --w-conflict N     weight of the predicted-conflict objective half
 //! --w-distance N     weight of the arc-distance objective half
+//! --w-absint N       re-rank restart winners by the abstract-
+//!                    interpretation term: objective + N x statically
+//!                    unguaranteed weight (default 0 = off)
 //! --layout-out FILE  write the winning layout as JSON {name, addr, size}
 //! ```
 //!
@@ -44,6 +47,7 @@ fn main() {
     let mut budget: u64 = 100_000;
     let mut restarts: u32 = 6;
     let mut weights = ObjectiveWeights::default();
+    let mut w_absint: u64 = 0;
     let mut layout_out: Option<PathBuf> = None;
     let args = run_args_with(StudyConfig::small(), |arg, rest| match arg {
         "--budget" => {
@@ -60,6 +64,10 @@ fn main() {
         }
         "--w-distance" => {
             weights.distance = numeric(arg, rest.pop_front());
+            true
+        }
+        "--w-absint" => {
+            w_absint = numeric(arg, rest.pop_front());
             true
         }
         "--layout-out" => {
@@ -88,12 +96,13 @@ fn main() {
         restarts,
         seed: config.seed,
         weights,
+        w_absint,
         ..SearchParams::default()
     };
 
     println!(
-        "search: budget {budget} x {restarts} restart(s), weights conflict={} distance={}, \
-         seed {:#x}",
+        "search: budget {budget} x {restarts} restart(s), weights conflict={} distance={} \
+         absint={w_absint}, seed {:#x}",
         weights.conflict, weights.distance, config.seed
     );
     let searched = run_layout_search(&study, cfg, &params, &sim, args.threads);

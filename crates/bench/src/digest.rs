@@ -266,6 +266,71 @@ pub fn run() {
         ],
     );
     println!();
+
+    // Beyond the paper: the abstract-interpretation classification of
+    // every layout — what fraction of weighted fetches is *provably*
+    // always-hit / persistent / always-miss, with no trace. The `analyze`
+    // binary prints per-point detail and replays the soundness gate.
+    println!("Beyond the paper: static classification (abstract interpretation, weighted):");
+    let mut table = TextTable::new([
+        "layout",
+        "always-hit",
+        "persistent",
+        "always-miss",
+        "unclassified",
+        "coverage",
+    ]);
+    let mut absint_layouts: Vec<(&str, oslay_verify::LayoutView)> = [
+        OsLayoutKind::Base,
+        OsLayoutKind::ChangHwu,
+        OsLayoutKind::OptS,
+        OsLayoutKind::OptL,
+    ]
+    .iter()
+    .map(|&kind| {
+        (
+            kind.name(),
+            oslay_verify::LayoutView::from_layout(&study.os_layout(kind, cfg.size()).layout),
+        )
+    })
+    .collect();
+    absint_layouts.push((
+        "Search",
+        oslay_verify::LayoutView::from_layout(&searched.os.layout),
+    ));
+    for (name, view) in &absint_layouts {
+        let c = crate::absint_gate::classify_study_layout(&study, view, cfg);
+        assert_eq!(c.invariant_violations, 0, "{name}: absint lattice violated");
+        table.row([
+            (*name).to_owned(),
+            pct(c.weighted_share(oslay_verify::LineClass::AlwaysHit)),
+            pct(c.weighted_share(oslay_verify::LineClass::Persistent)),
+            pct(c.weighted_share(oslay_verify::LineClass::AlwaysMiss)),
+            pct(c.weighted_share(oslay_verify::LineClass::Unclassified)),
+            pct(c.coverage()),
+        ]);
+        reporter.add_section(
+            &format!("absint.{name}"),
+            [
+                (
+                    "weighted_always_hit",
+                    c.weighted_share(oslay_verify::LineClass::AlwaysHit),
+                ),
+                (
+                    "weighted_persistent",
+                    c.weighted_share(oslay_verify::LineClass::Persistent),
+                ),
+                (
+                    "weighted_always_miss",
+                    c.weighted_share(oslay_verify::LineClass::AlwaysMiss),
+                ),
+                ("coverage", c.coverage()),
+            ],
+        );
+    }
+    print!("{}", table.render());
+    println!("(run `--bin analyze -- --gate` to replay-validate these classes)");
+    println!();
     println!(
         "Full details per artifact: the fig*/tab* binaries in crates/bench/src/bin \
          (see EXPERIMENTS.md). Digest scale factor: {} OS blocks per workload.",

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint_gate;
 pub mod archive;
 pub mod diag;
 pub mod digest;
@@ -1046,6 +1047,7 @@ impl Reporter {
     /// # Panics
     ///
     /// Panics if the report cannot be written.
+    #[must_use]
     pub fn finish(mut self) -> PathBuf {
         self.report.add_spans(global_recorder());
         self.report.add_metrics(&self.registry);

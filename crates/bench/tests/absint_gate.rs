@@ -1,0 +1,41 @@
+//! Integration tests for the abstract-interpretation soundness gate:
+//! thread invariance of the classification and the replay checks.
+
+use oslay::cache::CacheConfig;
+use oslay::{OsLayout, OsLayoutKind, Study, StudyConfig};
+use oslay_bench::absint_gate::{classify_study_layout, run_absint_gate};
+use oslay_verify::LayoutView;
+
+fn tiny_study(threads: usize) -> Study {
+    Study::generate_with_threads(&StudyConfig::tiny().with_os_blocks(6_000), threads)
+}
+
+#[test]
+fn classification_is_invariant_under_threads() {
+    let cfg = CacheConfig::paper_default();
+    let a = tiny_study(1);
+    let b = tiny_study(4);
+    for kind in [OsLayoutKind::Base, OsLayoutKind::OptS] {
+        let va = LayoutView::from_layout(&a.os_layout(kind, cfg.size()).layout);
+        let vb = LayoutView::from_layout(&b.os_layout(kind, cfg.size()).layout);
+        let ca = classify_study_layout(&a, &va, cfg);
+        let cb = classify_study_layout(&b, &vb, cfg);
+        assert_eq!(ca, cb, "{kind:?} classification diverges across threads");
+    }
+}
+
+#[test]
+fn gate_rows_are_invariant_under_threads_and_sound() {
+    let cfg = CacheConfig::paper_default();
+    let study = tiny_study(2);
+    let layouts: Vec<(String, OsLayout)> = [OsLayoutKind::Base, OsLayoutKind::ChangHwu]
+        .iter()
+        .map(|&k| (k.name().to_owned(), study.os_layout(k, cfg.size())))
+        .collect();
+    let one = run_absint_gate(&study, &layouts, cfg, 1);
+    let four = run_absint_gate(&study, &layouts, cfg, 4);
+    assert_eq!(one.rows, four.rows, "gate rows diverge across threads");
+    assert!(one.ok(), "tiny-scale gate must be sound");
+    // Every workload x layout pair is replayed.
+    assert_eq!(one.rows.len(), 2 * study.cases().len());
+}

@@ -137,8 +137,8 @@ struct AppGen {
 }
 
 impl AppGen {
-    fn chain(&mut self, spec: ChainSpec) -> RoutineId {
-        build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, &spec)
+    fn chain(&mut self, spec: &ChainSpec) -> RoutineId {
+        build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, spec)
     }
 
     /// Random sequence-heavy routine calling into `pool`.
@@ -189,7 +189,7 @@ impl AppGen {
             }
         }
         spec.cold_tail = self.rng.gen_range(1..=4);
-        self.chain(spec)
+        self.chain(&spec)
     }
 
     /// Emits one cold routine (used to interleave cold code among hot
@@ -198,7 +198,7 @@ impl AppGen {
         let hot = self.rng.gen_range(4..=16);
         let spec =
             ChainSpec::new(format!("{prefix}_cold{i}"), hot).cold_tail(self.rng.gen_range(0..=3));
-        let _ = self.chain(spec);
+        let _ = self.chain(&spec);
     }
 
     fn cold_bulk(&mut self, prefix: &str, count: usize) {
@@ -206,26 +206,26 @@ impl AppGen {
             let hot = self.rng.gen_range(4..=16);
             let spec = ChainSpec::new(format!("{prefix}_coldbulk{i}"), hot)
                 .cold_tail(self.rng.gen_range(0..=3));
-            let _ = self.chain(spec);
+            let _ = self.chain(&spec);
         }
     }
 
     fn scientific(&mut self, idx: usize) -> RoutineId {
         let tag = format!("sci{idx}");
-        let inner = self.chain(ChainSpec::new(format!("{tag}_dgemm_inner"), 3).looped(0, 1, 60.0));
+        let inner = self.chain(&ChainSpec::new(format!("{tag}_dgemm_inner"), 3).looped(0, 1, 60.0));
         let outer = self.chain(
-            ChainSpec::new(format!("{tag}_dgemm_outer"), 5)
+            &ChainSpec::new(format!("{tag}_dgemm_outer"), 5)
                 .call(2, inner)
                 .looped(1, 3, 30.0),
         );
         let interchange =
-            self.chain(ChainSpec::new(format!("{tag}_interchange"), 4).looped(1, 2, 40.0));
-        let barrier = self.chain(ChainSpec::new(format!("{tag}_barrier"), 3).looped(1, 1, 2.0));
-        let init = self.chain(ChainSpec::new(format!("{tag}_init"), 6).cold_tail(2));
+            self.chain(&ChainSpec::new(format!("{tag}_interchange"), 4).looped(1, 2, 40.0));
+        let barrier = self.chain(&ChainSpec::new(format!("{tag}_barrier"), 3).looped(1, 1, 2.0));
+        let init = self.chain(&ChainSpec::new(format!("{tag}_init"), 6).cold_tail(2));
         self.cold_bulk(&tag, self.params.scaled(28));
         // One "job": init once, then iterate the solve loop.
         self.chain(
-            ChainSpec::new(format!("{tag}_main"), 9)
+            &ChainSpec::new(format!("{tag}_main"), 9)
                 .call(0, init)
                 .call(3, outer)
                 .call(4, interchange)
@@ -237,10 +237,10 @@ impl AppGen {
 
     fn compiler(&mut self, idx: usize) -> RoutineId {
         let tag = format!("cc{idx}");
-        let lex = self.chain(ChainSpec::new(format!("{tag}_lex_next"), 4).looped(1, 2, 6.0));
-        let hash = self.chain(ChainSpec::new(format!("{tag}_sym_hash"), 2));
+        let lex = self.chain(&ChainSpec::new(format!("{tag}_lex_next"), 4).looped(1, 2, 6.0));
+        let hash = self.chain(&ChainSpec::new(format!("{tag}_sym_hash"), 2));
         let sym = self.chain(
-            ChainSpec::new(format!("{tag}_sym_lookup"), 5)
+            &ChainSpec::new(format!("{tag}_sym_lookup"), 5)
                 .call(1, hash)
                 .looped(2, 3, 2.5),
         );
@@ -269,7 +269,7 @@ impl AppGen {
         let top_b = pool[pool.len() - 3];
         let top_c = pool[2.min(pool.len() - 1)];
         self.chain(
-            ChainSpec::new(format!("{tag}_main"), 9)
+            &ChainSpec::new(format!("{tag}_main"), 9)
                 .call(1, top_c)
                 .call(3, top_b)
                 .call(5, top_a)
@@ -280,7 +280,7 @@ impl AppGen {
 
     fn utility(&mut self, idx: usize) -> RoutineId {
         let tag = format!("fsck{idx}");
-        let scan = self.chain(ChainSpec::new(format!("{tag}_scan_blocks"), 4).looped(0, 2, 12.0));
+        let scan = self.chain(&ChainSpec::new(format!("{tag}_scan_blocks"), 4).looped(0, 2, 12.0));
         let mut pool = vec![scan];
         let n = self.params.scaled(40);
         for i in 0..n {
@@ -298,7 +298,7 @@ impl AppGen {
         let check = pool[1.min(pool.len() - 1)];
         let last = pool[pool.len() - 1];
         self.chain(
-            ChainSpec::new(format!("{tag}_main"), 8)
+            &ChainSpec::new(format!("{tag}_main"), 8)
                 .call(1, check)
                 .call(4, last)
                 .looped(2, 5, 20.0)

@@ -261,13 +261,13 @@ impl<'p> Generator<'p> {
     // ----- utilities ------------------------------------------------------
 
     fn build_utilities(&mut self) -> Utilities {
-        let lock_acquire = self.spec_chain(ChainSpec::new("lock_acquire", 3).looped(1, 1, 1.2));
-        let lock_release = self.spec_chain(ChainSpec::new("lock_release", 2));
-        let read_hrc = self.spec_chain(ChainSpec::new("read_hrc", 2));
-        let soft_mul = self.spec_chain(ChainSpec::new("soft_mul", 4).looped(1, 2, 8.0));
-        let soft_div = self.spec_chain(ChainSpec::new("soft_div", 5).looped(1, 3, 12.0));
-        let state_save = self.spec_chain(ChainSpec::new("state_save", 3).fat());
-        let state_restore = self.spec_chain(ChainSpec::new("state_restore", 3).fat());
+        let lock_acquire = self.spec_chain(&ChainSpec::new("lock_acquire", 3).looped(1, 1, 1.2));
+        let lock_release = self.spec_chain(&ChainSpec::new("lock_release", 2));
+        let read_hrc = self.spec_chain(&ChainSpec::new("read_hrc", 2));
+        let soft_mul = self.spec_chain(&ChainSpec::new("soft_mul", 4).looped(1, 2, 8.0));
+        let soft_div = self.spec_chain(&ChainSpec::new("soft_div", 5).looped(1, 3, 12.0));
+        let state_save = self.spec_chain(&ChainSpec::new("state_save", 3).fat());
+        let state_restore = self.spec_chain(&ChainSpec::new("state_restore", 3).fat());
         let sig_check_detour = Detour {
             pos: 3,
             enter_prob: 0.12,
@@ -275,16 +275,18 @@ impl<'p> Generator<'p> {
             to_tail: false,
         };
         let usr_sys_trans = self.spec_chain(
-            ChainSpec::new("usr_sys_trans", 5)
+            &ChainSpec::new("usr_sys_trans", 5)
                 .fat()
                 .detour(sig_check_detour)
                 .cold_tail(2),
         );
-        let tlb_invalidate = self.spec_chain(ChainSpec::new("tlb_invalidate", 3).looped(1, 1, 4.0));
-        let bzero = self.spec_chain(ChainSpec::new("bzero", 2).looped(0, 0, 32.0));
-        let bcopy = self.spec_chain(ChainSpec::new("bcopy", 2).looped(0, 0, 24.0));
-        let check_curtimer = self.spec_chain(ChainSpec::new("check_curtimer", 3).looped(0, 1, 2.2));
-        let update_hrtimer = self.spec_chain(ChainSpec::new("update_hrtimer", 3));
+        let tlb_invalidate =
+            self.spec_chain(&ChainSpec::new("tlb_invalidate", 3).looped(1, 1, 4.0));
+        let bzero = self.spec_chain(&ChainSpec::new("bzero", 2).looped(0, 0, 32.0));
+        let bcopy = self.spec_chain(&ChainSpec::new("bcopy", 2).looped(0, 0, 24.0));
+        let check_curtimer =
+            self.spec_chain(&ChainSpec::new("check_curtimer", 3).looped(0, 1, 2.2));
+        let update_hrtimer = self.spec_chain(&ChainSpec::new("update_hrtimer", 3));
         let sched_wakeup = self.auto_chain(AutoChain {
             name: "sched_wakeup".into(),
             hot: 4,
@@ -294,8 +296,8 @@ impl<'p> Generator<'p> {
             fat: false,
             extra_detours: true,
         });
-        let hashfn = self.spec_chain(ChainSpec::new("hashfn", 2));
-        let strcmp_k = self.spec_chain(ChainSpec::new("strcmp_k", 2).looped(0, 0, 8.0));
+        let hashfn = self.spec_chain(&ChainSpec::new("hashfn", 2));
+        let strcmp_k = self.spec_chain(&ChainSpec::new("strcmp_k", 2).looped(0, 0, 8.0));
         Utilities {
             lock_acquire,
             lock_release,
@@ -514,7 +516,7 @@ impl<'p> Generator<'p> {
                 .get(i)
                 .map_or_else(|| format!("syscall{i}"), |s| format!("sys_{s}"));
             let r = match SYSCALL_NAMES.get(i).copied() {
-                Some("getpid" | "getuid") => self.spec_chain(ChainSpec::new(name, 2)),
+                Some("getpid" | "getuid") => self.spec_chain(&ChainSpec::new(name, 2)),
                 Some("gettimeofday") => self.auto_chain(AutoChain {
                     name,
                     hot: 4,
@@ -837,7 +839,7 @@ impl<'p> Generator<'p> {
             fat: true,
             extra_detours: true,
         });
-        let idle = self.spec_chain(ChainSpec::new("idle_loop", 3).looped(1, 1, 2.5));
+        let idle = self.spec_chain(&ChainSpec::new("idle_loop", 3).looped(1, 1, 2.5));
         let sig = self.auto_chain(AutoChain {
             name: "signal_deliver".into(),
             hot: 10,
@@ -866,8 +868,8 @@ impl<'p> Generator<'p> {
     // ----- building blocks ---------------------------------------------------
 
     /// Builds a routine from an explicit spec and interleaves cold bulk.
-    fn spec_chain(&mut self, spec: ChainSpec) -> RoutineId {
-        let r = build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, &spec);
+    fn spec_chain(&mut self, spec: &ChainSpec) -> RoutineId {
+        let r = build_chain_routine(&mut self.b, &mut self.rng, &self.sizes, spec);
         self.cold_tick();
         r
     }
@@ -1001,7 +1003,7 @@ impl<'p> Generator<'p> {
                 }
             }
         }
-        self.spec_chain(spec)
+        self.spec_chain(&spec)
     }
 
     /// Builds a seed service: entry stub, prologue calls, a

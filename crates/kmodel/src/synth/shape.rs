@@ -266,11 +266,11 @@ mod tests {
     use super::*;
     use crate::{Domain, SeedKind};
 
-    fn build(spec: ChainSpec) -> crate::Program {
+    fn build(spec: &ChainSpec) -> crate::Program {
         let mut b = ProgramBuilder::new(Domain::Os);
         let mut rng = Rng::seed_from_u64(9);
         let sizes = BlockSizeDist::paper();
-        let r = build_chain_routine(&mut b, &mut rng, &sizes, &spec);
+        let r = build_chain_routine(&mut b, &mut rng, &sizes, spec);
         for kind in SeedKind::ALL {
             b.set_seed(kind, r);
         }
@@ -279,13 +279,13 @@ mod tests {
 
     #[test]
     fn plain_chain_has_hot_plus_return_blocks() {
-        let p = build(ChainSpec::new("f", 4));
+        let p = build(&ChainSpec::new("f", 4));
         assert_eq!(p.num_blocks(), 5);
     }
 
     #[test]
     fn detour_adds_inline_block_between_hot_blocks() {
-        let p = build(ChainSpec::new("f", 3).detour(Detour {
+        let p = build(&ChainSpec::new("f", 3).detour(Detour {
             pos: 1,
             enter_prob: 0.01,
             body: DetourBody::Plain,
@@ -300,7 +300,7 @@ mod tests {
 
     #[test]
     fn loop_back_edge_probability_matches_mean() {
-        let p = build(ChainSpec::new("f", 3).looped(0, 1, 5.0));
+        let p = build(&ChainSpec::new("f", 3).looped(0, 1, 5.0));
         let r = p.routine_by_name("f").unwrap();
         let back_src = r.blocks()[1];
         match p.block(back_src).terminator() {
@@ -314,7 +314,7 @@ mod tests {
 
     #[test]
     fn cold_tail_blocks_return() {
-        let p = build(ChainSpec::new("f", 2).cold_tail(3).detour(Detour {
+        let p = build(&ChainSpec::new("f", 2).cold_tail(3).detour(Detour {
             pos: 0,
             enter_prob: 0.005,
             body: DetourBody::Plain,
@@ -333,7 +333,7 @@ mod tests {
             body: DetourBody::Plain,
             to_tail: false,
         });
-        let _ = build(spec);
+        let _ = build(&spec);
     }
 
     #[test]

@@ -172,6 +172,15 @@ pub const MIN_SEARCH_SCORE_EVALS_PER_SEC: f64 = 5_000.0;
 /// CI machines.
 pub const MIN_SEARCH_WALK_CANDIDATES_PER_SEC: f64 = 2_000.0;
 
+/// The minimum acceptable abstract-interpretation classification rate,
+/// in classified line access points per second, gated against the
+/// `absint_classify` case when present. One classification is a fixpoint
+/// over a few thousand blocks plus a linear walk; even at paper scale it
+/// finishes in well under a second, so the floor only trips on an
+/// algorithmic regression (e.g. the worklist losing its queued-flag
+/// dedup and going quadratic).
+pub const MIN_ABSINT_CLASSIFY_POINTS_PER_SEC: f64 = 2_000.0;
+
 /// Validates serialized `BENCH_sim.json` text: it must parse as a
 /// [`RunReport`] and carry at least one `bench.*` case section whose
 /// `events_per_sec` field is strictly positive. When the derived section
@@ -179,7 +188,9 @@ pub const MIN_SEARCH_WALK_CANDIDATES_PER_SEC: f64 = 2_000.0;
 /// [`MIN_TRACE_COMPRESSION_RATIO`]; a recorded `sweep_speedup` must
 /// meet [`MIN_SWEEP_SPEEDUP`]. A report that measures the layout-search
 /// cases must clear [`MIN_SEARCH_SCORE_EVALS_PER_SEC`] and
-/// [`MIN_SEARCH_WALK_CANDIDATES_PER_SEC`].
+/// [`MIN_SEARCH_WALK_CANDIDATES_PER_SEC`]; one that measures the
+/// abstract-interpretation classifier must clear
+/// [`MIN_ABSINT_CLASSIFY_POINTS_PER_SEC`].
 ///
 /// # Errors
 ///
@@ -220,6 +231,7 @@ pub fn validate(text: &str) -> Result<(), String> {
     for (case, floor) in [
         ("bench.search_score", MIN_SEARCH_SCORE_EVALS_PER_SEC),
         ("bench.search_walk", MIN_SEARCH_WALK_CANDIDATES_PER_SEC),
+        ("bench.absint_classify", MIN_ABSINT_CLASSIFY_POINTS_PER_SEC),
     ] {
         if let Some(rate) = report.section_field(case, "events_per_sec") {
             if rate < floor {
@@ -341,5 +353,28 @@ mod tests {
 
         let r = sample();
         validate(&r.to_json()).expect("absent search cases are not gated");
+    }
+
+    #[test]
+    fn validate_gates_absint_classify_rate() {
+        let case = |events: u64| BenchCase {
+            name: "absint_classify".to_owned(),
+            events,
+            secs: 1.0,
+            allocs: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+        };
+        let mut r = sample();
+        r.push_case(case(50_000));
+        validate(&r.to_json()).expect("rate above the floor passes");
+
+        let mut r = sample();
+        r.push_case(case(500));
+        let err = validate(&r.to_json()).expect_err("slow classifier fails");
+        assert!(err.contains("absint_classify"), "{err}");
+
+        let r = sample();
+        validate(&r.to_json()).expect("absent absint case is not gated");
     }
 }

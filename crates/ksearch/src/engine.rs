@@ -39,6 +39,13 @@ pub struct SearchParams {
     pub headroom_caches: u32,
     /// Approximate number of best-so-far curve samples kept per restart.
     pub curve_points: u64,
+    /// Weight of the abstract-interpretation re-ranking term. When
+    /// non-zero, each restart's best layout is classified statically
+    /// (`oslay_verify::absint`) and the winner minimizes
+    /// `best + w_absint x unguaranteed-weight` — the execution-weighted
+    /// accesses the analysis could not prove always-hit or persistent.
+    /// `0` (the default) keeps the pure conflict objective.
+    pub w_absint: u64,
 }
 
 impl Default for SearchParams {
@@ -50,6 +57,7 @@ impl Default for SearchParams {
             weights: ObjectiveWeights::default(),
             headroom_caches: 2,
             curve_points: 32,
+            w_absint: 0,
         }
     }
 }
@@ -172,11 +180,37 @@ pub fn run_search(
     let restarts = oslay::exec::parallel_map(threads, jobs, |_, r| {
         run_restart(program, profile, seed_view, config, params, r)
     });
-    let winner = restarts
-        .iter()
-        .min_by_key(|r| (r.best, r.restart))
-        .expect("at least one restart")
-        .restart;
+    let winner = if params.w_absint == 0 {
+        restarts
+            .iter()
+            .min_by_key(|r| (r.best, r.restart))
+            .expect("at least one restart")
+            .restart
+    } else {
+        // Re-rank each restart's best layout by the conflict objective
+        // plus the statically unguaranteed weight. Classification is per
+        // candidate (restarts.len() of them, not per proposal), so the
+        // cost stays negligible next to the walk itself.
+        let absint = oslay_verify::AbsintParams::new(*config);
+        restarts
+            .iter()
+            .map(|r| {
+                let c = oslay_verify::classify_layout(program, profile, &r.view, &absint);
+                let unguaranteed = c
+                    .weighted
+                    .iter()
+                    .sum::<u64>()
+                    .saturating_sub(c.weighted[oslay_verify::LineClass::AlwaysHit.index()])
+                    .saturating_sub(c.weighted[oslay_verify::LineClass::Persistent.index()]);
+                let score = r
+                    .best
+                    .saturating_add(params.w_absint.saturating_mul(unguaranteed));
+                (score, r.restart)
+            })
+            .min()
+            .expect("at least one restart")
+            .1
+    };
     let best_view = restarts[winner as usize].view.clone();
     SearchOutcome {
         initial: restarts[0].initial,

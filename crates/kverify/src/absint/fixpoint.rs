@@ -1,0 +1,228 @@
+//! Deterministic worklist fixpoint over the profile-weighted arc graph.
+//!
+//! Nodes are the *executed* blocks of one OS profile; edges are the
+//! profile's measured arcs (a superset of every individual workload's
+//! transitions when run on a merged profile, which is what makes the
+//! result sound for each workload separately). Invocation seed blocks
+//! are pinned to the havoc state: the trace engine guarantees OS
+//! invocations are atomic, so everything that happens between two
+//! invocations — application execution, other invocations — collapses
+//! into "assume nothing" at the seed.
+//!
+//! Termination is structural: the join is a monotone climb in a finite
+//! lattice, and a per-block join budget havocs any block whose in-state
+//! keeps changing (the havoc state is absorbing, so a havocked block can
+//! never be re-enqueued by a join). Total worklist pops are therefore
+//! bounded by `blocks x (join budget + 2)` — the bound the property
+//! tests assert.
+
+use std::collections::VecDeque;
+
+use super::domain::AbsState;
+
+/// The analysis graph: dense executed-block indices, CSR successor
+/// lists, per-node line slots.
+pub(crate) struct Graph {
+    /// Line slots (dense line id, set index) per node, in fetch order.
+    pub lines: Vec<Vec<(u32, u32)>>,
+    /// CSR offsets into `succ` (length `nodes + 1`).
+    pub succ_first: Vec<u32>,
+    /// Successor node indices, sorted per node.
+    pub succ: Vec<u32>,
+    /// Nodes pinned to the havoc in-state (invocation seeds).
+    pub seeds: Vec<u32>,
+}
+
+/// Fixpoint outcome: per-node entry states plus effort counters.
+pub(crate) struct Fixpoint {
+    /// Entry state per node (`None` = never reached; classify against
+    /// havoc, which assumes nothing).
+    pub in_states: Vec<Option<AbsState>>,
+    /// Worklist pops until stabilization.
+    pub iterations: u64,
+    /// Nodes widened to havoc by the join budget.
+    pub havocked: u32,
+}
+
+/// Runs the worklist to fixpoint.
+pub(crate) fn solve(
+    graph: &Graph,
+    num_sets: usize,
+    ways: u8,
+    line_set: &[u32],
+    may_cap: usize,
+    join_bound: u32,
+) -> Fixpoint {
+    let n = graph.lines.len();
+    let mut in_states: Vec<Option<AbsState>> = vec![None; n];
+    let mut joins = vec![0u32; n];
+    let mut seed = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut worklist = VecDeque::new();
+    for &s in &graph.seeds {
+        in_states[s as usize] = Some(AbsState::havoc(num_sets));
+        seed[s as usize] = true;
+        if !queued[s as usize] {
+            queued[s as usize] = true;
+            worklist.push_back(s);
+        }
+    }
+
+    let mut iterations = 0u64;
+    let mut havocked = 0u32;
+    while let Some(node) = worklist.pop_front() {
+        let node = node as usize;
+        queued[node] = false;
+        iterations += 1;
+
+        // Transfer: push the entry state through the node's line slots.
+        let mut out = in_states[node]
+            .clone()
+            .expect("only reached nodes are enqueued");
+        for &(line, set) in &graph.lines[node] {
+            out.access(line, set, ways, line_set);
+        }
+
+        let (lo, hi) = (
+            graph.succ_first[node] as usize,
+            graph.succ_first[node + 1] as usize,
+        );
+        for &next in &graph.succ[lo..hi] {
+            let next = next as usize;
+            if seed[next] {
+                // Seed in-states are constant havoc; joining anything
+                // into havoc is a no-op.
+                continue;
+            }
+            let changed = match &mut in_states[next] {
+                Some(state) => state.join_from(&out, line_set, ways, may_cap),
+                slot @ None => {
+                    let mut first = out.clone();
+                    first.normalize(line_set, ways, may_cap);
+                    *slot = Some(first);
+                    true
+                }
+            };
+            if changed {
+                joins[next] += 1;
+                if joins[next] > join_bound {
+                    // Widen: havoc is absorbing, so this node's in-state
+                    // can never change again — one final propagation.
+                    let havoc = AbsState::havoc(num_sets);
+                    if in_states[next].as_ref() != Some(&havoc) {
+                        in_states[next] = Some(havoc);
+                        havocked += 1;
+                    }
+                }
+                if !queued[next] {
+                    queued[next] = true;
+                    worklist.push_back(next as u32);
+                }
+            }
+        }
+    }
+
+    Fixpoint {
+        in_states,
+        iterations,
+        havocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a graph from adjacency lists; every node touches one
+    /// private line in set 0 (line id = node id).
+    fn graph(adj: &[&[u32]], seeds: &[u32]) -> (Graph, Vec<u32>) {
+        let n = adj.len();
+        let mut succ_first = vec![0u32; n + 1];
+        let mut succ = Vec::new();
+        for (i, out) in adj.iter().enumerate() {
+            let mut out: Vec<u32> = out.to_vec();
+            out.sort_unstable();
+            succ_first[i + 1] = succ_first[i] + out.len() as u32;
+            succ.extend(out);
+        }
+        let lines = (0..n).map(|i| vec![(i as u32, 0u32)]).collect();
+        let line_set = vec![0u32; n];
+        (
+            Graph {
+                lines,
+                succ_first,
+                succ,
+                seeds: seeds.to_vec(),
+            },
+            line_set,
+        )
+    }
+
+    #[test]
+    fn straight_line_propagates_must() {
+        // 0 -> 1 -> 2, 4-way set: by node 2, lines 0 and 1 are must-hits.
+        let (g, line_set) = graph(&[&[1], &[2], &[]], &[0]);
+        let fx = solve(&g, 1, 4, &line_set, 8, 64);
+        let s2 = fx.in_states[2].as_ref().unwrap();
+        assert!(s2.must_hit(0));
+        assert!(s2.must_hit(1));
+        assert!(!s2.must_hit(2));
+        assert_eq!(fx.havocked, 0);
+    }
+
+    #[test]
+    fn diamond_join_intersects() {
+        // 0 -> {1, 2} -> 3: at 3, line 0 is a must-hit on both paths;
+        // lines 1 and 2 are path-dependent (may, not must).
+        let (g, line_set) = graph(&[&[1, 2], &[3], &[3], &[]], &[0]);
+        let fx = solve(&g, 1, 4, &line_set, 8, 64);
+        let s3 = fx.in_states[3].as_ref().unwrap();
+        assert!(s3.must_hit(0));
+        assert!(!s3.must_hit(1));
+        assert!(!s3.must_hit(2));
+        assert!(s3.may_contain(1, 0, 4));
+        assert!(s3.may_contain(2, 0, 4));
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint_and_terminates() {
+        // 0 -> 1 <-> 2, all in one direct-mapped set: the 1-2 loop
+        // alternately evicts each line.
+        let (g, line_set) = graph(&[&[1], &[2], &[1]], &[0]);
+        let fx = solve(&g, 1, 1, &line_set, 8, 64);
+        let s1 = fx.in_states[1].as_ref().unwrap();
+        // Entering 1 either from 0 (line 0 resident) or from 2 (line 2
+        // resident): nothing is a guaranteed hit.
+        assert!(!s1.must_hit(0));
+        assert!(!s1.must_hit(2));
+        let bound = (g.lines.len() as u64) * (64 + 2);
+        assert!(fx.iterations <= bound, "{} > {bound}", fx.iterations);
+    }
+
+    #[test]
+    fn join_budget_havocs_instead_of_diverging() {
+        // A tight loop with budget 0: first re-join havocs node 1.
+        let (g, line_set) = graph(&[&[1], &[2], &[1]], &[0]);
+        let fx = solve(&g, 1, 2, &line_set, 8, 0);
+        assert!(fx.havocked >= 1);
+        // Still terminates quickly.
+        assert!(fx.iterations <= (g.lines.len() as u64) * 2 + 2);
+    }
+
+    #[test]
+    fn unreached_nodes_stay_none() {
+        let (g, line_set) = graph(&[&[1], &[], &[]], &[0]);
+        let fx = solve(&g, 1, 1, &line_set, 8, 64);
+        assert!(fx.in_states[2].is_none());
+    }
+
+    #[test]
+    fn seed_in_state_is_pinned_to_havoc() {
+        // 0 -> 1 -> 0 loop: the back edge must not refine the seed.
+        let (g, line_set) = graph(&[&[1], &[0]], &[0]);
+        let fx = solve(&g, 1, 2, &line_set, 8, 64);
+        let s0 = fx.in_states[0].as_ref().unwrap();
+        assert_eq!(s0, &AbsState::havoc(1));
+        assert!(s0.may_contain(1, 0, 2));
+    }
+}

@@ -22,6 +22,12 @@
 //!   search (`oslay-search`) can re-score only the sets a candidate
 //!   touches.
 //!
+//! * [`absint`] — the abstract-interpretation cache analysis: a fixpoint
+//!   dataflow engine over the profile's arc graph computing per-set
+//!   must/may/persistence LRU-age states, classifying every placed line
+//!   access as always-hit / always-miss / persistent / unclassified —
+//!   soundness-gated against measured misses by the `analyze` binary.
+//!
 //! The `lint` binary (in `oslay-bench`) fronts both halves with an
 //! exit-code contract; the experiment drivers run [`verify_os_layout`] on
 //! every OS layout before simulating it (always in debug builds, behind a
@@ -31,12 +37,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod absint;
 mod diagnostic;
 mod incremental;
 mod invariants;
 mod predict;
 mod view;
 
+pub use absint::{
+    block_line_addrs, classify_layout, AbsintParams, ClassPoint, Classification, LineClass,
+};
 pub use diagnostic::{DiagCode, Diagnostic, Severity, VerifyReport};
 pub use incremental::IncrementalPressure;
 pub use invariants::{verify, verify_structural, OptContext, VerifyInput};
